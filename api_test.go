@@ -1,0 +1,153 @@
+package archline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	// The facade exposes the twelve platforms.
+	if got := len(Platforms()); got != 12 {
+		t.Fatalf("Platforms() = %d entries, want 12", got)
+	}
+	if PlatformsByEfficiency()[0].ID != GTXTitan {
+		t.Error("most efficient platform should be the GTX Titan")
+	}
+	if _, err := GetPlatform("bogus"); err == nil {
+		t.Error("unknown platform should error")
+	}
+	titan := MustPlatform(GTXTitan)
+	if titan.Name != "GTX Titan" {
+		t.Errorf("got %q", titan.Name)
+	}
+}
+
+func TestNewMachine(t *testing.T) {
+	m, err := NewMachine(2e12, 200e9, 40e-12, 300e-12, 50, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(m.TimeBalance())-10) > 1e-9 {
+		t.Errorf("balance = %v, want 10", m.TimeBalance())
+	}
+	if _, err := NewMachine(0, 1, 1, 1, 1, 1); err == nil {
+		t.Error("zero peak should error")
+	}
+}
+
+func TestFacadeScenarioFlow(t *testing.T) {
+	titan := MustPlatform(GTXTitan).Single
+	mali := MustPlatform(ArndaleGPU).Single
+
+	k, err := PowerMatch(titan, mali)
+	if err != nil || k != 47 {
+		t.Errorf("PowerMatch = %d, %v; want 47", k, err)
+	}
+	cmp, err := CompareBlocks("titan", titan, "mali", mali, 0.125, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AggCount != 47 {
+		t.Errorf("AggCount = %d", cmp.AggCount)
+	}
+	x, err := Crossover(titan, mali, MetricFlopsPerJoule, 0.125, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x <= 0 {
+		t.Error("crossover should be positive")
+	}
+	curves, err := ThrottleSweep(titan, []float64{1, 0.5}, LogSpace(0.25, 128, 8))
+	if err != nil || len(curves) != 2 {
+		t.Fatalf("ThrottleSweep: %v", err)
+	}
+	pb, err := PowerBound(titan, mali, float64(titan.PeakAvgPower())/2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.SmallCount != 23 {
+		t.Errorf("SmallCount = %d, want 23", pb.SmallCount)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	titan := MustPlatform(GTXTitan)
+	spmv, err := SpMV(1<<20, 1<<24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := PlaceWorkload(spmv, titan.Single, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Time <= 0 || pl.Energy <= 0 {
+		t.Error("placement should have positive costs")
+	}
+	if pl.Regime != MemoryBound {
+		t.Errorf("SpMV regime %v, want memory-bound", pl.Regime)
+	}
+	for _, mk := range []func() (Workload, error){
+		func() (Workload, error) { return FFT(1<<20, 4, 1<<20) },
+		func() (Workload, error) { return MatMul(512, 4, 1<<20) },
+		func() (Workload, error) { return Stencil7(64, 4, 1<<20) },
+		func() (Workload, error) { return MergeSort(1<<20, 4, 1<<20) },
+		func() (Workload, error) { return StreamTriad(1<<20, 4) },
+		func() (Workload, error) { return Dot(1<<20, 4) },
+	} {
+		w, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Intensity() <= 0 {
+			t.Errorf("%s: non-positive intensity", w.Name)
+		}
+	}
+	bfs, err := BFS(1<<16, 1<<20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlaceWorkload(bfs, titan.Single, titan.Rand); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	titan := MustPlatform(GTXTitan)
+	s := NewSimulator(titan, SimOptions{Seed: 5, Noiseless: true})
+	m, err := s.Measure(Kernel{
+		Name: "api", FlopsPerWord: 16, WorkingSet: 64 << 20, Passes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Intensity != 4 {
+		t.Errorf("intensity = %v, want 4", m.Intensity)
+	}
+	suite, err := RunSuite(titan, SimOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Measurements) == 0 {
+		t.Error("suite should produce measurements")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers in -short mode")
+	}
+	opts := ExperimentOptions{Seed: 3, SweepPoints: 12}
+	if _, err := ReproduceFig1(opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReproduceThrottle(ThrottlePower); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ConstPower.OverHalf != 7 {
+		t.Errorf("OverHalf = %d, want 7", sc.ConstPower.OverHalf)
+	}
+}

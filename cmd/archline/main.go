@@ -1,0 +1,14 @@
+// Command archline regenerates the paper's tables and figures from the
+// simulated measurement pipeline. Run `archline -h` for the full command
+// list; the implementation lives in internal/cli so it is unit tested.
+package main
+
+import (
+	"os"
+
+	"archline/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

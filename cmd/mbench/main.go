@@ -1,0 +1,95 @@
+// Command mbench runs the paper's microbenchmark suite on one simulated
+// platform and prints the raw measurement tuples — the (W, Q, time,
+// energy, power) records the fitting pipeline consumes.
+//
+// Usage:
+//
+//	mbench [-platform gtx-titan] [-seed 42] [-points 25] [-noiseless] [-csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"archline/internal/machine"
+	"archline/internal/microbench"
+	"archline/internal/report"
+	"archline/internal/sim"
+	"archline/internal/units"
+)
+
+func main() {
+	var (
+		platform  = flag.String("platform", "gtx-titan", "platform ID (see 'archline list')")
+		seed      = flag.Uint64("seed", 42, "simulation noise seed")
+		points    = flag.Int("points", 25, "intensity sweep points")
+		noiseless = flag.Bool("noiseless", false, "disable measurement noise")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+	if err := run(machine.ID(*platform), *seed, *points, *noiseless, *asCSV); err != nil {
+		fmt.Fprintln(os.Stderr, "mbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id machine.ID, seed uint64, points int, noiseless, asCSV bool) error {
+	plat, err := machine.ByID(id)
+	if err != nil {
+		return err
+	}
+	cfg := microbench.DefaultConfig()
+	cfg.SweepPoints = points
+	res, err := microbench.Run(plat, cfg, sim.Options{Seed: seed, Noiseless: noiseless})
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		w := csv.NewWriter(os.Stdout)
+		defer w.Flush()
+		if err := w.Write([]string{"kernel", "precision", "pattern", "level",
+			"W_flops", "Q_bytes", "intensity", "time_s", "energy_J", "power_W"}); err != nil {
+			return err
+		}
+		for _, m := range res.Measurements {
+			rec := []string{
+				m.Kernel, m.Precision.String(), m.Pattern.String(), m.Level.String(),
+				strconv.FormatFloat(float64(m.W), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.Q), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.Intensity), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.Time), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.Energy), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.AvgPower), 'g', -1, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fmt.Printf("%s microbenchmark suite (%d kernels, idle %s)\n\n",
+		plat.Name, len(res.Measurements), units.FormatPower(res.IdlePower))
+	tb := &report.Table{
+		Headers: []string{"kernel", "prec", "level", "intensity", "time", "energy", "power", "flop/s", "GB/s"},
+	}
+	for _, m := range res.Measurements {
+		rate, bw := "-", "-"
+		if m.W > 0 {
+			rate = units.FormatFlopRate(m.W.Rate(m.Time))
+		}
+		if m.Q > 0 {
+			bw = units.FormatByteRate(m.Q.Rate(m.Time))
+		}
+		tb.AddRow(m.Kernel, m.Precision.String(), m.Level.String(),
+			units.FormatIntensity(m.Intensity),
+			units.FormatTime(m.Time),
+			units.FormatEnergy(m.Energy),
+			units.FormatPower(m.AvgPower),
+			rate, bw)
+	}
+	fmt.Println(tb.Render())
+	return nil
+}

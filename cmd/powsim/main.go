@@ -1,0 +1,163 @@
+// Command powsim runs one kernel on a simulated platform and dumps the
+// PowerMon 2-style multi-rail sample trace as CSV — the raw
+// time-stamped voltage/current stream the paper's measurement
+// infrastructure produced (fig. 3).
+//
+// Usage:
+//
+//	powsim [-platform gtx-titan] [-fpw 64] [-ws 64Mi] [-seed 42] > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"archline/internal/machine"
+	"archline/internal/sim"
+	"archline/internal/stats"
+	"archline/internal/trace"
+	"archline/internal/units"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "gtx-titan", "platform ID")
+		fpw      = flag.Float64("fpw", 64, "flops per word (intensity knob)")
+		ws       = flag.String("ws", "64Mi", "working set, e.g. 16Ki, 8Mi, 1Gi")
+		passes   = flag.Int("passes", 0, "passes over the working set (0 = auto ~0.25s)")
+		seed     = flag.Uint64("seed", 42, "noise seed")
+		chase    = flag.Bool("chase", false, "run the pointer-chase kernel instead")
+		double   = flag.Bool("double", false, "double precision")
+		phases   = flag.Bool("phases", false, "run a 3-phase sequence and detect phases from the trace")
+	)
+	flag.Parse()
+	var err error
+	if *phases {
+		err = runPhases(machine.ID(*platform), *seed)
+	} else {
+		err = run(machine.ID(*platform), *fpw, *ws, *passes, *seed, *chase, *double)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runPhases records a memory-bound, compute-bound, and pointer-chase
+// phase back to back and recovers the phase structure from the sampled
+// trace — the trace-analysis workflow of internal/trace.
+func runPhases(id machine.ID, seed uint64) error {
+	plat, err := machine.ByID(id)
+	if err != nil {
+		return err
+	}
+	s := sim.New(plat, sim.Options{Seed: seed})
+	kernels := []sim.Kernel{
+		{Name: "memory-bound", Precision: sim.Single, FlopsPerWord: 0.5,
+			WorkingSet: units.MiB(64), Passes: passCount(plat, 0.5)},
+		{Name: "compute-bound", Precision: sim.Single, FlopsPerWord: 4096,
+			WorkingSet: units.MiB(64), Passes: passCount(plat, 4096)},
+	}
+	if plat.Rand != nil {
+		accesses := float64(units.MiB(256)) / float64(plat.Rand.Line)
+		per := accesses / float64(plat.Rand.Rate)
+		n := int(0.25/per) + 1
+		kernels = append(kernels, sim.Kernel{
+			Name: "pointer-chase", Precision: sim.Single, Pattern: sim.ChasePattern,
+			WorkingSet: units.MiB(256), Passes: n,
+		})
+	}
+	seq, tr, err := s.MeasureSequence(kernels)
+	if err != nil {
+		return err
+	}
+	pts, err := trace.FromTrace(tr)
+	if err != nil {
+		return err
+	}
+	detected, err := trace.DetectPhases(trace.MovingAverage(pts, 9), 16, 0.05)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d-phase sequence, %s total, %d samples\n\n",
+		plat.Name, len(seq.Runs), units.FormatTime(seq.Total), tr.SampleCount())
+	fmt.Println("ground truth:")
+	for i, run := range seq.Runs {
+		fmt.Printf("  %d. %-14s %8s  %s\n", i+1, run.Kernel.Name,
+			units.FormatTime(run.TrueTime),
+			units.FormatPower(units.Power(float64(plat.Single.Pi1)+float64(run.TrueDyn))))
+	}
+	fmt.Println("detected from the trace:")
+	for i, ph := range detected {
+		fmt.Printf("  %d. %8s - %8s  %s  (%d samples)\n", i+1,
+			units.FormatTime(ph.Start), units.FormatTime(ph.End),
+			units.FormatPower(ph.AvgPower), ph.Samples)
+	}
+	return nil
+}
+
+// passCount sizes a streaming kernel to ~0.3 s on the platform.
+func passCount(plat *machine.Platform, fpw float64) int {
+	p := plat.Single
+	words := float64(units.MiB(64)) / 4
+	per := fpw * words * float64(p.TauFlop)
+	if mem := float64(units.MiB(64)) * float64(p.TauMem); mem > per {
+		per = mem
+	}
+	n := int(0.3/per) + 1
+	return n
+}
+
+func run(id machine.ID, fpw float64, wsSpec string, passes int, seed uint64, chase, double bool) error {
+	plat, err := machine.ByID(id)
+	if err != nil {
+		return err
+	}
+	wsBytes, err := units.ParseSize(wsSpec)
+	if err != nil {
+		return err
+	}
+	k := sim.Kernel{
+		Name:         "powsim",
+		FlopsPerWord: fpw,
+		WorkingSet:   wsBytes,
+		Passes:       passes,
+	}
+	if chase {
+		k.Pattern = sim.ChasePattern
+	}
+	if double {
+		k.Precision = sim.Double
+	}
+	s := sim.New(plat, sim.Options{Seed: seed})
+	if k.Passes <= 0 {
+		k.Passes = 1
+		res, err := s.Run(k)
+		if err != nil {
+			return err
+		}
+		if per := float64(res.TrueTime); per < 0.25 {
+			k.Passes = int(0.25/per) + 1
+		}
+	}
+	res, err := s.Run(k)
+	if err != nil {
+		return err
+	}
+	meter := sim.MeterFor(plat)
+	trace, err := meter.Record(res.Signal, res.TrueTime,
+		stats.NewStream(seed, "powsim-meter"))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteCSV(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "powsim: %s on %s: %d samples over %s, avg %s, energy %s\n",
+		k.Pattern, plat.Name, trace.SampleCount(),
+		units.FormatTime(trace.Duration),
+		units.FormatPower(trace.AvgPower()),
+		units.FormatEnergy(trace.Energy()))
+	return nil
+}

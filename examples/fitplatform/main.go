@@ -1,0 +1,80 @@
+// fitplatform runs the paper's full measurement-and-fitting pipeline on
+// one simulated platform: execute the microbenchmark suite, record every
+// run with the PowerMon-style meter, then recover the six model
+// parameters (plus cache levels and random access) by nonlinear
+// regression and compare them with the platform's published Table I
+// constants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"archline"
+	"archline/internal/fit"
+)
+
+func main() {
+	id := flag.String("platform", "gtx-titan", "platform ID")
+	seed := flag.Uint64("seed", 7, "measurement noise seed")
+	flag.Parse()
+
+	plat, err := archline.GetPlatform(archline.PlatformID(*id))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %s (%s, %s)\n", plat.Name, plat.Processor, plat.Microarch)
+
+	suite, err := archline.RunSuite(plat, archline.SimOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suite: %d measurements, idle power %.2f W\n\n",
+		len(suite.Measurements), float64(suite.IdlePower))
+
+	pf, err := fit.Platform(suite, fit.Options{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	row := func(name string, got, want float64, unit string) {
+		relErr := 0.0
+		if want != 0 {
+			relErr = 100 * (got - want) / want
+		}
+		fmt.Printf("  %-10s fitted %12.4g %-9s published %12.4g  (%+.1f%%)\n",
+			name, got, unit, want, relErr)
+	}
+	fmt.Println("recovered model parameters:")
+	row("1/tau_f", 1/float64(pf.Params.TauFlop), float64(plat.Sustained.SingleRate), "flop/s")
+	row("1/tau_m", 1/float64(pf.Params.TauMem), float64(plat.Sustained.MemBW), "B/s")
+	row("eps_s", float64(pf.Params.EpsFlop)*1e12, float64(plat.Single.EpsFlop)*1e12, "pJ/flop")
+	row("eps_mem", float64(pf.Params.EpsMem)*1e12, float64(plat.Single.EpsMem)*1e12, "pJ/B")
+	row("pi_1", float64(pf.Params.Pi1), float64(plat.Single.Pi1), "W")
+	row("delta_pi", float64(pf.Params.DeltaPi), float64(plat.Single.DeltaPi), "W")
+	if plat.SupportsDouble() {
+		row("eps_d", float64(pf.DoubleEps)*1e12, float64(plat.DoubleEps)*1e12, "pJ/flop")
+	}
+	if pf.L1 != nil && plat.L1 != nil {
+		row("eps_L1", float64(pf.L1.Eps)*1e12, float64(plat.L1.Eps)*1e12, "pJ/B")
+	}
+	if pf.L2 != nil && plat.L2 != nil {
+		row("eps_L2", float64(pf.L2.Eps)*1e12, float64(plat.L2.Eps)*1e12, "pJ/B")
+	}
+	if pf.Rand != nil && plat.Rand != nil {
+		row("eps_rand", float64(pf.Rand.Eps)*1e9, float64(plat.Rand.Eps)*1e9, "nJ/acc")
+	}
+	fmt.Printf("\nfit RMS log-residual: %.4f\n", pf.Residual)
+
+	// Validate the recovered model: predict a workload it never saw.
+	fftW, err := archline.FFT(1<<26, 4, float64(plat.L2Size))
+	if err != nil {
+		log.Fatal(err)
+	}
+	predFit := pf.Params.Predict(fftW.W, fftW.Q)
+	predRef := plat.Single.Predict(fftW.W, fftW.Q)
+	fmt.Printf("\ncross-check on a 64M-point FFT (I = %.2f flop:Byte):\n", float64(fftW.Intensity()))
+	fmt.Printf("  fitted model:    %.3f s, %.1f J\n", float64(predFit.Time), float64(predFit.Energy))
+	fmt.Printf("  published model: %.3f s, %.1f J\n", float64(predRef.Time), float64(predRef.Energy))
+}

@@ -1,0 +1,71 @@
+// gpucompare reproduces the paper's fig. 1 demonstration end-to-end
+// through the public API: should a future HPC system be built from
+// high-end desktop GPUs (GTX Titan) or swarms of low-power mobile GPUs
+// (Arndale/Mali T-604)?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"archline"
+)
+
+func main() {
+	titan := archline.MustPlatform(archline.GTXTitan)
+	mali := archline.MustPlatform(archline.ArndaleGPU)
+
+	fmt.Printf("big block:   %s — %s, %.0f W peak\n", titan.Name, titan.Processor,
+		float64(titan.Single.PeakAvgPower()))
+	fmt.Printf("small block: %s — %s, %.1f W peak\n\n", mali.Name, mali.Processor,
+		float64(mali.Single.PeakAvgPower()))
+
+	cmp, err := archline.CompareBlocks(titan.Name, titan.Single, mali.Name, mali.Single,
+		0.125, 256, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("power-matched aggregate: %d x %s\n\n", cmp.AggCount, mali.Name)
+	fmt.Println("intensity   Titan flop/J  Arndale flop/J  ratio   aggregate/Titan perf")
+	for k, i := range cmp.Grid {
+		if k%6 != 0 {
+			continue
+		}
+		tEff := cmp.Eff[0].Points[k].Value
+		aEff := cmp.Eff[1].Points[k].Value
+		perfRatio := cmp.Perf[2].Points[k].Value / cmp.Perf[0].Points[k].Value
+		fmt.Printf("%8.3f   %9.2f G  %11.2f G   %.2f        %.2fx\n",
+			float64(i), tEff/1e9, aEff/1e9, aEff/tEff, perfRatio)
+	}
+
+	fmt.Println("\nfindings (paper's fig. 1 reading):")
+	fmt.Printf("  - the two blocks tie on flop/J at I = %.1f flop:Byte (paper: as high as 4)\n",
+		float64(cmp.EnergyCrossover))
+	fmt.Printf("  - the %d-GPU aggregate beats the Titan by up to %.2fx for I < %.1f (paper: 1.6x below ~4)\n",
+		cmp.AggCount, cmp.MaxAggSpeedup, float64(cmp.AggPerfCrossover))
+	fmt.Printf("  - but its peak is only %.2fx of the Titan's (paper: < 1/2)\n", cmp.AggPeakFraction)
+
+	// Where do real algorithms land? The paper reads fig. 1 through SpMV
+	// and a large FFT.
+	spmv, err := archline.SpMV(1<<22, 1<<26, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fft, err := archline.FFT(1<<26, 4, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nalgorithm placements:")
+	for _, w := range []archline.Workload{spmv, fft} {
+		i := w.Intensity()
+		tEff := float64(titan.Single.FlopsPerJouleAt(i))
+		aEff := float64(mali.Single.FlopsPerJouleAt(i))
+		winner := "Titan"
+		if aEff > tEff {
+			winner = "Arndale GPU"
+		}
+		fmt.Printf("  %-6s I = %.2f flop:Byte -> Titan %.2f Gflop/J, Arndale %.2f Gflop/J (%s ahead)\n",
+			w.Name, float64(i), tEff/1e9, aEff/1e9, winner)
+	}
+}

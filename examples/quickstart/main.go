@@ -1,0 +1,54 @@
+// Quickstart: build a machine from headline numbers, ask the capped
+// energy-roofline model (eqs. (1)-(7) of the paper) for time, energy,
+// and power across intensities, and find where two machines trade
+// places.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"archline"
+)
+
+func main() {
+	// A hypothetical accelerator: 2 Tflop/s, 200 GB/s, 40 pJ/flop,
+	// 300 pJ/B, 50 W constant power, 120 W usable above that.
+	custom, err := archline.NewMachine(2e12, 200e9, 40e-12, 300e-12, 50, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== custom machine ==")
+	fmt.Printf("time balance (intrinsic flop:Byte): %.1f\n", float64(custom.TimeBalance()))
+	fmt.Printf("peak energy efficiency: %.2f Gflop/J\n", float64(custom.PeakFlopsPerJoule())/1e9)
+	fmt.Printf("power-capped anywhere? %v\n\n", !custom.Powerful())
+
+	fmt.Println("intensity  regime          flop/s       flop/J       power     throttle")
+	for _, i := range archline.LogSpace(0.25, 256, 11) {
+		fmt.Printf("%8.2f   %-14s  %8.2f G  %8.2f G  %6.1f W  %.2fx\n",
+			float64(i),
+			custom.RegimeAt(i),
+			float64(custom.FlopRateAt(i))/1e9,
+			float64(custom.FlopsPerJouleAt(i))/1e9,
+			float64(custom.AvgPowerAt(i)),
+			custom.ThrottleFactor(i))
+	}
+
+	// Compare against a Table I platform.
+	titan := archline.MustPlatform(archline.GTXTitan)
+	fmt.Printf("\n== vs %s ==\n", titan.Name)
+	x, err := archline.Crossover(custom, titan.Single, archline.MetricFlopsPerJoule, 0.125, 512)
+	switch err {
+	case nil:
+		fmt.Printf("energy-efficiency crossover at I = %.2f flop:Byte\n", float64(x))
+	default:
+		fmt.Println("no energy-efficiency crossover in [1/8, 512]:", err)
+	}
+
+	// Concrete workload: one capped-model prediction.
+	w, q := 1e12, 250e9 // 1 Tflop over 250 GB -> I = 4
+	pred := custom.Predict(archline.Flops(w), archline.Bytes(q))
+	fmt.Printf("\n1 Tflop at 4 flop:Byte -> time %.3f s, energy %.1f J, power %.1f W (%s)\n",
+		float64(pred.Time), float64(pred.Energy), float64(pred.AvgPower), pred.Regime)
+}

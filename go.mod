@@ -1,0 +1,3 @@
+module archline
+
+go 1.22

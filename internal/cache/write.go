@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"archline/internal/units"
+)
+
+// This file adds write handling to the cache simulator: write-back,
+// write-allocate caches, the policy of every platform in Table I. The
+// paper's eps_mem "does not differentiate reads and writes, so consider
+// eps_mem as the average of these costs"; the write-back machinery lets
+// the microbenchmarks quantify how much write-back traffic a kernel
+// actually generates, which is what that average is averaging over.
+
+// Op is one memory operation in a read/write access stream.
+type Op struct {
+	Addr  uint64
+	Write bool
+}
+
+// ReadStream converts plain addresses into read ops.
+func ReadStream(addrs []uint64) []Op {
+	ops := make([]Op, len(addrs))
+	for i, a := range addrs {
+		ops[i] = Op{Addr: a}
+	}
+	return ops
+}
+
+// WriteEvery marks every k-th op of a read stream as a write (k >= 1),
+// modelling a kernel with a given store ratio. k <= 0 leaves all reads.
+func WriteEvery(addrs []uint64, k int) []Op {
+	ops := ReadStream(addrs)
+	if k <= 0 {
+		return ops
+	}
+	for i := k - 1; i < len(ops); i += k {
+		ops[i].Write = true
+	}
+	return ops
+}
+
+// AccessOp performs one read or write with write-allocate semantics and
+// reports whether it hit and whether a dirty line was written back.
+func (l *Level) AccessOp(op Op) (hit, writeback bool) {
+	l.tick++
+	lineAddr := op.Addr >> l.lineShift
+	set := l.sets[lineAddr&l.setMask]
+	tag := lineAddr >> uint(len64(l.setMask))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			l.hits++
+			set[i].lastUsed = l.tick
+			if op.Write {
+				set[i].dirty = true
+			}
+			if set[i].prefetched {
+				set[i].prefetched = false
+				l.usefulPrefetches++
+			}
+			return true, false
+		}
+	}
+	l.misses++
+	victim := l.chooseVictim(set)
+	writeback = set[victim].valid && set[victim].dirty
+	if writeback {
+		l.writebacks++
+	}
+	set[victim] = way{tag: tag, valid: true, lastUsed: l.tick, loaded: l.tick, dirty: op.Write}
+	return false, writeback
+}
+
+// chooseVictim picks a replacement victim in the set per the policy.
+func (l *Level) chooseVictim(set []way) int {
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	switch l.cfg.Policy {
+	case LRU:
+		victim := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUsed < set[victim].lastUsed {
+				victim = i
+			}
+		}
+		return victim
+	case FIFO:
+		victim := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].loaded < set[victim].loaded {
+				victim = i
+			}
+		}
+		return victim
+	case Random:
+		return l.rng.Intn(len(set))
+	default:
+		return 0
+	}
+}
+
+// Writebacks returns the number of dirty lines evicted so far.
+func (l *Level) Writebacks() uint64 { return l.writebacks }
+
+// UsefulPrefetches returns how many prefetched lines saw a demand hit.
+func (l *Level) UsefulPrefetches() uint64 { return l.usefulPrefetches }
+
+// Insert loads a line without demand-access accounting (a prefetch). It
+// reports whether the line was already resident. Inserted lines are
+// marked so a later demand hit counts as a useful prefetch.
+func (l *Level) Insert(addr uint64) bool {
+	l.tick++
+	lineAddr := addr >> l.lineShift
+	set := l.sets[lineAddr&l.setMask]
+	tag := lineAddr >> uint(len64(l.setMask))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	victim := l.chooseVictim(set)
+	if set[victim].valid && set[victim].dirty {
+		l.writebacks++
+	}
+	set[victim] = way{tag: tag, valid: true, lastUsed: l.tick, loaded: l.tick, prefetched: true}
+	l.prefetchFills++
+	return false
+}
+
+// PrefetchFills returns how many lines prefetching inserted.
+func (l *Level) PrefetchFills() uint64 { return l.prefetchFills }
+
+// RWTraffic summarises a read/write stream replay: demand traffic per
+// boundary plus the write-back volume flowing outward from each level.
+type RWTraffic struct {
+	Traffic
+	// WritebackBytes[d] is the dirty-eviction volume leaving the level at
+	// depth d (index 0 = innermost).
+	WritebackBytes []units.Bytes
+}
+
+// RunOps replays a read/write stream through the hierarchy with
+// write-allocate at every level and returns demand and write-back
+// traffic.
+func (h *Hierarchy) RunOps(ops []Op, accessBytes units.Bytes) RWTraffic {
+	served := make([]uint64, len(h.levels)+1)
+	wbBefore := make([]uint64, len(h.levels))
+	for i, l := range h.levels {
+		wbBefore[i] = l.Writebacks()
+	}
+	for _, op := range ops {
+		depth := len(h.levels)
+		for d, l := range h.levels {
+			hit, _ := l.AccessOp(op)
+			if hit {
+				depth = d
+				break
+			}
+		}
+		served[depth]++
+	}
+	bytes := make([]units.Bytes, len(h.levels)+1)
+	bytes[0] = units.Bytes(float64(len(ops)) * float64(accessBytes))
+	for d := 1; d <= len(h.levels); d++ {
+		var crossings uint64
+		for k := d; k <= len(h.levels); k++ {
+			crossings += served[k]
+		}
+		line := h.levels[d-1].cfg.LineSize
+		bytes[d] = units.Bytes(float64(crossings) * float64(line))
+	}
+	wb := make([]units.Bytes, len(h.levels))
+	for i, l := range h.levels {
+		wb[i] = units.Bytes(float64(l.Writebacks()-wbBefore[i]) * float64(l.cfg.LineSize))
+	}
+	return RWTraffic{
+		Traffic:        Traffic{ServedBy: served, LineBytes: bytes},
+		WritebackBytes: wb,
+	}
+}

@@ -1,0 +1,258 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"archline/internal/units"
+)
+
+func TestOpStreams(t *testing.T) {
+	addrs := []uint64{0, 8, 16, 24}
+	ops := ReadStream(addrs)
+	for i, op := range ops {
+		if op.Addr != addrs[i] || op.Write {
+			t.Fatal("ReadStream should be all reads")
+		}
+	}
+	ops = WriteEvery(addrs, 2)
+	if ops[0].Write || !ops[1].Write || ops[2].Write || !ops[3].Write {
+		t.Error("WriteEvery(2) should mark ops 1 and 3")
+	}
+	ops = WriteEvery(addrs, 0)
+	for _, op := range ops {
+		if op.Write {
+			t.Error("WriteEvery(0) should leave reads")
+		}
+	}
+}
+
+func TestWriteBackOnDirtyEviction(t *testing.T) {
+	// Single-set, 2-way cache: write two lines dirty, then force both out.
+	cfg := Config{Name: "t", Size: 128, LineSize: 64, Assoc: 2, Policy: LRU}
+	l, err := NewLevel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AccessOp(Op{Addr: 0, Write: true})
+	l.AccessOp(Op{Addr: 64, Write: true})
+	if l.Writebacks() != 0 {
+		t.Fatal("no eviction yet")
+	}
+	// Evicts line 0 (dirty): one write-back.
+	if _, wb := l.AccessOp(Op{Addr: 128}); !wb {
+		t.Error("evicting a dirty line should write back")
+	}
+	if l.Writebacks() != 1 {
+		t.Errorf("writebacks = %d", l.Writebacks())
+	}
+	// Evicts line 64 (dirty): second write-back.
+	l.AccessOp(Op{Addr: 192})
+	if l.Writebacks() != 2 {
+		t.Errorf("writebacks = %d", l.Writebacks())
+	}
+	// Clean evictions do not write back.
+	if _, wb := l.AccessOp(Op{Addr: 256}); wb {
+		t.Error("evicting a clean line must not write back")
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	cfg := Config{Name: "t", Size: 128, LineSize: 64, Assoc: 2, Policy: LRU}
+	l, _ := NewLevel(cfg)
+	l.AccessOp(Op{Addr: 0})              // clean fill
+	l.AccessOp(Op{Addr: 0, Write: true}) // dirty on hit
+	l.AccessOp(Op{Addr: 64})
+	l.AccessOp(Op{Addr: 128}) // evicts LRU = line 0, now dirty
+	if l.Writebacks() != 1 {
+		t.Errorf("write hit should have dirtied the line; writebacks = %d", l.Writebacks())
+	}
+}
+
+func TestResetClearsWriteState(t *testing.T) {
+	cfg := Config{Name: "t", Size: 128, LineSize: 64, Assoc: 2, Policy: LRU}
+	l, _ := NewLevel(cfg)
+	l.AccessOp(Op{Addr: 0, Write: true})
+	l.AccessOp(Op{Addr: 64, Write: true})
+	l.AccessOp(Op{Addr: 128, Write: true})
+	l.Reset()
+	if l.Writebacks() != 0 || l.PrefetchFills() != 0 || l.UsefulPrefetches() != 0 {
+		t.Error("Reset should clear write/prefetch counters")
+	}
+	// Post-reset, the previously dirty lines are gone.
+	if _, wb := l.AccessOp(Op{Addr: 0}); wb {
+		t.Error("reset cache should have no dirty lines")
+	}
+}
+
+func TestRunOpsWritebackTraffic(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Name: "L1", Size: 1024, LineSize: 64, Assoc: 2, Policy: LRU},
+		Config{Name: "L2", Size: 8192, LineSize: 64, Assoc: 4, Policy: LRU},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write-stream a 64 KiB region: far over both capacities; every L1
+	// line comes back out dirty.
+	addrs, _ := StreamAddrs(units.KiB(64), 64, 1)
+	tr := h.RunOps(WriteEvery(addrs, 1), 64)
+	var total uint64
+	for _, s := range tr.ServedBy {
+		total += s
+	}
+	if total != uint64(len(addrs)) {
+		t.Error("ServedBy must sum to the op count")
+	}
+	if len(tr.WritebackBytes) != 2 {
+		t.Fatal("per-level write-back accounting missing")
+	}
+	// Nearly all L1 fills get written back (all but the 16 resident).
+	wantMin := float64(len(addrs)-16-1) * 64
+	if float64(tr.WritebackBytes[0]) < wantMin {
+		t.Errorf("L1 writeback bytes = %v, want >= %v", tr.WritebackBytes[0], wantMin)
+	}
+	// A pure read stream generates no write-backs.
+	h.Reset()
+	tr = h.RunOps(ReadStream(addrs), 64)
+	if tr.WritebackBytes[0] != 0 || tr.WritebackBytes[1] != 0 {
+		t.Error("read-only stream must not write back")
+	}
+}
+
+func TestPrefetcherUnitStride(t *testing.T) {
+	cfg := Config{Name: "L1", Size: units.KiB(32), LineSize: 64, Assoc: 8, Policy: LRU}
+	l, _ := NewLevel(cfg)
+	p := NewPrefetcher(l, 2, 2)
+	// Unit-stride line walk: after the detector locks, every demand
+	// access hits a prefetched line.
+	misses := 0
+	n := 512
+	for i := 0; i < n; i++ {
+		if !p.Access(uint64(i * 64)) {
+			misses++
+		}
+	}
+	if misses > 4 {
+		t.Errorf("unit-stride with prefetcher: %d misses, want a handful at startup", misses)
+	}
+	if p.Issued() == 0 {
+		t.Fatal("prefetcher never fired")
+	}
+	// The paper's "direct the prefetcher" goal: accuracy ~1 on streams.
+	if acc := p.Accuracy(); acc < 0.9 {
+		t.Errorf("stream prefetch accuracy %v, want ~1", acc)
+	}
+}
+
+func TestPrefetcherDefeatedByChase(t *testing.T) {
+	cfg := Config{Name: "L1", Size: units.KiB(32), LineSize: 64, Assoc: 8, Policy: LRU}
+	l, _ := NewLevel(cfg)
+	p := NewPrefetcher(l, 2, 2)
+	addrs, err := ChaseAddrs(units.MiB(8), 64, 20000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs {
+		p.Access(a)
+	}
+	// Random strides never repeat: the detector must not lock, so the
+	// pointer chase stays essentially prefetch-free (the paper's premise
+	// that chasing "cannot use ... the prefetching units").
+	if float64(p.Issued()) > 0.01*float64(len(addrs)) {
+		t.Errorf("chase should not trigger the stride prefetcher: %d issues", p.Issued())
+	}
+	if l.MissRate() < 0.95 {
+		t.Errorf("chase should still miss, rate %v", l.MissRate())
+	}
+}
+
+func TestPrefetcherLargeStride(t *testing.T) {
+	cfg := Config{Name: "L1", Size: units.KiB(32), LineSize: 64, Assoc: 8, Policy: LRU}
+	l, _ := NewLevel(cfg)
+	p := NewPrefetcher(l, 1, 2)
+	// Fixed large stride: detector locks and prefetches correctly too
+	// (strided is still regular).
+	misses := 0
+	for i := 0; i < 256; i++ {
+		if !p.Access(uint64(i * 4096)) {
+			misses++
+		}
+	}
+	if misses > 8 {
+		t.Errorf("fixed-stride pattern should lock the prefetcher, %d misses", misses)
+	}
+}
+
+func TestPrefetcherReset(t *testing.T) {
+	cfg := Config{Name: "L1", Size: units.KiB(32), LineSize: 64, Assoc: 8, Policy: LRU}
+	l, _ := NewLevel(cfg)
+	p := NewPrefetcher(l, 2, 2)
+	for i := 0; i < 64; i++ {
+		p.Access(uint64(i * 64))
+	}
+	p.Reset()
+	if p.Issued() != 0 {
+		t.Error("Reset should clear issue count")
+	}
+	if p.Accuracy() != 1 {
+		t.Error("fresh prefetcher accuracy defined as 1")
+	}
+	// Degenerate constructor args clamp.
+	q := NewPrefetcher(l, 0, 0)
+	if q.Degree != 1 || q.Threshold != 1 {
+		t.Error("constructor should clamp degree/threshold to 1")
+	}
+}
+
+func TestInsertSemantics(t *testing.T) {
+	cfg := Config{Name: "t", Size: 128, LineSize: 64, Assoc: 2, Policy: LRU}
+	l, _ := NewLevel(cfg)
+	if l.Insert(0) {
+		t.Error("inserting a missing line reports false")
+	}
+	if !l.Insert(0) {
+		t.Error("inserting a resident line reports true")
+	}
+	if l.PrefetchFills() != 1 {
+		t.Errorf("prefetch fills = %d, want 1", l.PrefetchFills())
+	}
+	// Demand hit on the prefetched line counts as useful exactly once.
+	l.Access(0)
+	l.Access(0)
+	if l.UsefulPrefetches() != 1 {
+		t.Errorf("useful prefetches = %d, want 1", l.UsefulPrefetches())
+	}
+	// Inserts do not perturb demand hit/miss counters.
+	if l.Accesses() != 2 {
+		t.Errorf("accesses = %d, want 2 (inserts excluded)", l.Accesses())
+	}
+	// Insert evicting a dirty line writes back.
+	l2, _ := NewLevel(cfg)
+	l2.AccessOp(Op{Addr: 0, Write: true})
+	l2.AccessOp(Op{Addr: 64, Write: true})
+	l2.Insert(128)
+	if l2.Writebacks() != 1 {
+		t.Errorf("insert over dirty line: writebacks = %d", l2.Writebacks())
+	}
+}
+
+// Property: write-backs never exceed demand misses plus prefetch fills
+// (every write-back corresponds to a fill that dirtied).
+func TestQuickWritebackBound(t *testing.T) {
+	f := func(raw []uint16, everyRaw uint8) bool {
+		cfg := Config{Name: "q", Size: 2048, LineSize: 64, Assoc: 4, Policy: LRU}
+		l, err := NewLevel(cfg)
+		if err != nil {
+			return false
+		}
+		every := int(everyRaw%4) + 1
+		for i, a := range raw {
+			l.AccessOp(Op{Addr: uint64(a) * 8, Write: i%every == 0})
+		}
+		return l.Writebacks() <= l.Misses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,393 @@
+// Package cli implements the archline command-line tool: one subcommand
+// per table/figure of the paper plus utilities. It lives in an internal
+// package (rather than package main) so every command path is unit
+// tested.
+package cli
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"archline/internal/experiments"
+	"archline/internal/fit"
+	"archline/internal/machine"
+	"archline/internal/microbench"
+	"archline/internal/model"
+	"archline/internal/report"
+	"archline/internal/sim"
+	"archline/internal/units"
+)
+
+// Usage is the help text.
+const Usage = `usage: archline [flags] <command>
+
+commands:
+  table1     Table I: fit all twelve platforms and compare to published constants
+  fig1       Fig. 1: GTX Titan vs Arndale GPU building blocks
+  fig4       Fig. 4: capped vs uncapped model error distributions (K-S tests)
+  fig5       Fig. 5: power vs intensity, all platforms
+  fig6       Fig. 6: power under reduced caps
+  fig7a      Fig. 7a: performance under reduced caps
+  fig7b      Fig. 7b: energy efficiency under reduced caps
+  scenarios  Sections V-B, V-C, V-D analyses
+  dp         Double-precision energy analysis (Table I eps_d columns)
+  network    Fig. 1 aggregate re-evaluated with interconnect costs
+  dvfs       Energy-optimal frequency per intensity (DVFS extension)
+  pi1        Constant-power reduction what-if (the conclusions' question)
+  mountain   Memory mountain: bandwidth vs working set and stride (-platform)
+  scaling    Strong/weak cluster scaling of the Arndale building block
+  export     Dump every platform's suite measurements as CSV (released dataset)
+  fit        Fit one platform (-platform) and print recovered constants
+  sweep      Print one platform's model curves over intensity (-platform)
+  roofline   ASCII time and energy rooflines for one platform (-platform)
+  list       List the twelve platforms
+  experiments-md  Emit EXPERIMENTS.md (paper-vs-measured record)
+  all        Run everything in paper order
+`
+
+// Main parses args (excluding the program name) and runs the command,
+// writing output to stdout and diagnostics to stderr. It returns the
+// process exit code.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("archline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed       = fs.Uint64("seed", 42, "simulation noise seed")
+		points     = fs.Int("points", 25, "intensity sweep points per platform")
+		replicates = fs.Int("replicates", 1, "suite replicates (fig4 uses 4 by default)")
+		noiseless  = fs.Bool("noiseless", false, "disable measurement noise")
+		platform   = fs.String("platform", "gtx-titan", "platform ID for fit/sweep/roofline")
+		platFile   = fs.String("platform-file", "", "JSON platform description to use instead of -platform")
+	)
+	fs.Usage = func() {
+		fmt.Fprint(stderr, Usage)
+		fmt.Fprintln(stderr, "flags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	opts := experiments.Options{
+		Seed:        *seed,
+		SweepPoints: *points,
+		Noiseless:   *noiseless,
+		Replicates:  *replicates,
+	}
+	if *platFile != "" {
+		f, err := os.Open(*platFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "archline:", err)
+			return 1
+		}
+		custom, err := machine.FromJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "archline:", err)
+			return 1
+		}
+		if err := RunOn(fs.Arg(0), opts, custom, stdout); err != nil {
+			fmt.Fprintln(stderr, "archline:", err)
+			return 1
+		}
+		return 0
+	}
+	if err := Run(fs.Arg(0), opts, machine.ID(*platform), stdout); err != nil {
+		fmt.Fprintln(stderr, "archline:", err)
+		return 1
+	}
+	return 0
+}
+
+// RunOn dispatches the per-platform subcommands against a custom
+// (JSON-loaded) platform. Only the platform-scoped commands are
+// supported; the table/figure reproductions are tied to the Table I set.
+func RunOn(cmd string, opts experiments.Options, plat *machine.Platform, w io.Writer) error {
+	switch cmd {
+	case "fit":
+		return fitPlatform(opts, plat, w)
+	case "sweep":
+		return sweepPlatform(plat, w)
+	case "roofline":
+		return rooflinePlatform(plat, w)
+	default:
+		return fmt.Errorf("command %q does not support -platform-file (use fit, sweep, or roofline)", cmd)
+	}
+}
+
+// renderer is anything that formats itself.
+type renderer interface{ Render() string }
+
+// Run dispatches one subcommand, writing its artefact to w.
+func Run(cmd string, opts experiments.Options, plat machine.ID, w io.Writer) error {
+	render := func(f func() (renderer, error)) error {
+		r, err := f()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+		return nil
+	}
+	switch cmd {
+	case "table1":
+		return render(func() (renderer, error) { r, err := experiments.TableI(opts); return r, err })
+	case "fig1":
+		return render(func() (renderer, error) { r, err := experiments.Fig1(opts); return r, err })
+	case "fig4":
+		if opts.Replicates <= 1 {
+			opts.Replicates = 4
+		}
+		return render(func() (renderer, error) { r, err := experiments.Fig4(opts); return r, err })
+	case "fig5":
+		return render(func() (renderer, error) { r, err := experiments.Fig5(opts); return r, err })
+	case "fig6":
+		return render(func() (renderer, error) {
+			r, err := experiments.Throttle(experiments.ThrottlePower)
+			return r, err
+		})
+	case "fig7a":
+		return render(func() (renderer, error) {
+			r, err := experiments.Throttle(experiments.ThrottlePerf)
+			return r, err
+		})
+	case "fig7b":
+		return render(func() (renderer, error) {
+			r, err := experiments.Throttle(experiments.ThrottleEff)
+			return r, err
+		})
+	case "scenarios":
+		return render(func() (renderer, error) { r, err := experiments.Scenarios(); return r, err })
+	case "dp":
+		return render(func() (renderer, error) { r, err := experiments.DoublePrecision(); return r, err })
+	case "network":
+		return render(func() (renderer, error) { r, err := experiments.Network(); return r, err })
+	case "dvfs":
+		return render(func() (renderer, error) { r, err := experiments.DVFSAnalysis(); return r, err })
+	case "pi1":
+		return render(func() (renderer, error) { r, err := experiments.Pi1(); return r, err })
+	case "mountain":
+		return render(func() (renderer, error) { r, err := experiments.Mountain(plat, opts); return r, err })
+	case "export":
+		return exportAll(opts, w)
+	case "scaling":
+		return render(func() (renderer, error) { r, err := experiments.Scaling(); return r, err })
+	case "experiments-md":
+		return experiments.WriteExperimentsMD(w, opts)
+	case "fit":
+		return fitOne(opts, plat, w)
+	case "sweep":
+		return sweepOne(plat, w)
+	case "roofline":
+		return roofline(plat, w)
+	case "list":
+		return list(w)
+	case "all":
+		for _, c := range []string{"table1", "fig1", "fig4", "fig5", "fig6", "fig7a", "fig7b",
+			"scenarios", "dp", "network", "dvfs", "pi1"} {
+			fmt.Fprintf(w, "==================== %s ====================\n", c)
+			if err := Run(c, opts, plat, w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func fitOne(opts experiments.Options, id machine.ID, w io.Writer) error {
+	plat, err := machine.ByID(id)
+	if err != nil {
+		return err
+	}
+	return fitPlatform(opts, plat, w)
+}
+
+func fitPlatform(opts experiments.Options, plat *machine.Platform, w io.Writer) error {
+	cfg := microbench.DefaultConfig()
+	if opts.SweepPoints > 0 {
+		cfg.SweepPoints = opts.SweepPoints
+	}
+	suite, err := microbench.Run(plat, cfg, sim.Options{Seed: opts.Seed, Noiseless: opts.Noiseless})
+	if err != nil {
+		return err
+	}
+	pf, err := fit.Platform(suite, fit.Options{Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	tb := &report.Table{
+		Title:   fmt.Sprintf("%s: fitted constants (published Table I values in parentheses)", plat.Name),
+		Headers: []string{"parameter", "fitted", "published"},
+	}
+	tb.AddRow("peak flop/s", units.FormatFlopRate(pf.Params.PeakFlopRate()),
+		units.FormatFlopRate(plat.Sustained.SingleRate))
+	tb.AddRow("mem bandwidth", units.FormatByteRate(pf.Params.PeakByteRate()),
+		units.FormatByteRate(plat.Sustained.MemBW))
+	tb.AddRow("eps_s", units.FormatEnergyPerFlop(pf.Params.EpsFlop),
+		units.FormatEnergyPerFlop(plat.Single.EpsFlop))
+	if plat.SupportsDouble() {
+		tb.AddRow("eps_d", units.FormatEnergyPerFlop(pf.DoubleEps),
+			units.FormatEnergyPerFlop(plat.DoubleEps))
+	}
+	tb.AddRow("eps_mem", units.FormatEnergyPerByte(pf.Params.EpsMem),
+		units.FormatEnergyPerByte(plat.Single.EpsMem))
+	tb.AddRow("pi_1", units.FormatPower(pf.Params.Pi1), units.FormatPower(plat.Single.Pi1))
+	tb.AddRow("delta_pi", units.FormatPower(pf.Params.DeltaPi), units.FormatPower(plat.Single.DeltaPi))
+	if pf.L1 != nil && plat.L1 != nil {
+		tb.AddRow("eps_L1", units.FormatEnergyPerByte(pf.L1.Eps), units.FormatEnergyPerByte(plat.L1.Eps))
+	}
+	if pf.L2 != nil && plat.L2 != nil {
+		tb.AddRow("eps_L2", units.FormatEnergyPerByte(pf.L2.Eps), units.FormatEnergyPerByte(plat.L2.Eps))
+	}
+	if pf.Rand != nil && plat.Rand != nil {
+		tb.AddRow("eps_rand", units.FormatEnergyPerAccess(pf.Rand.Eps),
+			units.FormatEnergyPerAccess(plat.Rand.Eps))
+	}
+	fmt.Fprintln(w, tb.Render())
+	fmt.Fprintf(w, "fit RMS log-residual: %.4f\n", pf.Residual)
+	return nil
+}
+
+func sweepOne(id machine.ID, w io.Writer) error {
+	plat, err := machine.ByID(id)
+	if err != nil {
+		return err
+	}
+	return sweepPlatform(plat, w)
+}
+
+func sweepPlatform(plat *machine.Platform, w io.Writer) error {
+	p := plat.Single
+	fmt.Fprintf(w, "%s model sweep\n%s\n\n", plat.Name, report.PanelHeader(plat))
+	tb := &report.Table{
+		Headers: []string{"intensity", "regime", "flop/s", "flop/J", "power", "throttle"},
+	}
+	for _, i := range model.LogSpace(0.125, 512, 25) {
+		tb.AddRow(
+			units.FormatIntensity(i),
+			p.RegimeAt(i).Letter(),
+			units.FormatFlopRate(p.FlopRateAt(i)),
+			units.FormatFlopsPerJoule(p.FlopsPerJouleAt(i)),
+			units.FormatPower(p.AvgPowerAt(i)),
+			fmt.Sprintf("%.2fx", p.ThrottleFactor(i)),
+		)
+	}
+	fmt.Fprintln(w, tb.Render())
+	return nil
+}
+
+// roofline draws the platform's time roofline (flop/s vs intensity) and
+// energy roofline (flop/J vs intensity) as ASCII plots — the paper's two
+// core curves side by side.
+func roofline(id machine.ID, w io.Writer) error {
+	plat, err := machine.ByID(id)
+	if err != nil {
+		return err
+	}
+	return rooflinePlatform(plat, w)
+}
+
+func rooflinePlatform(plat *machine.Platform, w io.Writer) error {
+	p := plat.Single
+	grid := model.LogSpace(0.125, 512, 49)
+	timeSeries := report.PlotSeries{Name: "flop/s (capped)", Marker: '*'}
+	timeFree := report.PlotSeries{Name: "flop/s (uncapped)", Marker: '.'}
+	energySeries := report.PlotSeries{Name: "flop/J", Marker: 'o'}
+	for _, i := range grid {
+		x := float64(i)
+		timeSeries.X = append(timeSeries.X, x)
+		timeSeries.Y = append(timeSeries.Y, float64(p.FlopRateAt(i)))
+		timeFree.X = append(timeFree.X, x)
+		timeFree.Y = append(timeFree.Y, float64(p.FlopRateAtUncapped(i)))
+		energySeries.X = append(energySeries.X, x)
+		energySeries.Y = append(energySeries.Y, float64(p.FlopsPerJouleAt(i)))
+	}
+	fmt.Fprintf(w, "%s rooflines\n%s\n\n", plat.Name, report.PanelHeader(plat))
+	tp := &report.Plot{
+		Title:  "time roofline",
+		XLabel: "intensity (flop:Byte)",
+		LogY:   true, Height: 14,
+		Series: []report.PlotSeries{timeSeries, timeFree},
+	}
+	fmt.Fprintln(w, tp.Render())
+	ep := &report.Plot{
+		Title:  "energy roofline",
+		XLabel: "intensity (flop:Byte)",
+		LogY:   true, Height: 14,
+		Series: []report.PlotSeries{energySeries},
+	}
+	fmt.Fprintln(w, ep.Render())
+	if lo, hi, ok := p.CapBindingRange(); ok {
+		fmt.Fprintf(w, "power cap binds for I in [%s, %s]\n",
+			units.FormatIntensity(lo), units.FormatIntensity(hi))
+	} else {
+		fmt.Fprintln(w, "power cap never binds on this platform")
+	}
+	return nil
+}
+
+func list(w io.Writer) error {
+	tb := &report.Table{
+		Title: "Table I platforms",
+		Headers: []string{"id", "name", "processor", "uarch", "class",
+			"peak SP", "peak bw", "peak flop/J"},
+	}
+	for _, p := range machine.All() {
+		tb.AddRow(string(p.ID), p.Name, p.Processor, p.Microarch, p.Class.String(),
+			units.FormatFlopRate(units.FlopRate(p.Vendor.Single)),
+			units.FormatByteRate(units.ByteRate(p.Vendor.MemBW)),
+			units.FormatFlopsPerJoule(p.Single.PeakFlopsPerJoule()))
+	}
+	fmt.Fprintln(w, tb.Render())
+	fmt.Fprintln(w, `run "archline fit -platform <id>" to fit one platform, "archline all" for every figure`)
+	return nil
+}
+
+// exportAll runs the full microbenchmark suite on every platform and
+// streams the pooled measurements as one CSV — the reproduction's
+// analogue of the paper's publicly released measurement data.
+func exportAll(opts experiments.Options, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{"platform", "kernel", "precision", "pattern", "level",
+		"W_flops", "Q_bytes", "accesses", "intensity", "time_s", "energy_J", "power_W"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	cfg := microbench.DefaultConfig()
+	if opts.SweepPoints > 0 {
+		cfg.SweepPoints = opts.SweepPoints
+	}
+	for _, plat := range machine.All() {
+		res, err := microbench.Run(plat, cfg, sim.Options{Seed: opts.Seed, Noiseless: opts.Noiseless})
+		if err != nil {
+			return err
+		}
+		for _, m := range res.Measurements {
+			rec := []string{
+				string(m.Platform), m.Kernel, m.Precision.String(), m.Pattern.String(),
+				m.Level.String(),
+				strconv.FormatFloat(float64(m.W), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.Q), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.Accesses), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.Intensity), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.Time), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.Energy), 'g', -1, 64),
+				strconv.FormatFloat(float64(m.AvgPower), 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+// Package cluster extends the node-level capped energy-roofline model to
+// multi-node systems with an interconnection network.
+//
+// The paper's fig. 1 analysis constructs a hypothetical "supercomputer"
+// from 47 Arndale GPUs power-matched to one GTX Titan and immediately
+// cautions that "this best-case ignores the significant costs of an
+// interconnection network", predicting the aggregate is "more likely to
+// improve upon GTX Titan only marginally or not at all" once those costs
+// are paid. This package makes that caveat quantitative: a Network adds
+// per-node NIC constant power, amortized switch power, finite injection
+// bandwidth, and a per-byte link energy; bulk-synchronous steps then
+// charge communication volume by pattern (halo exchange, allreduce,
+// all-to-all).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"archline/internal/model"
+	"archline/internal/units"
+)
+
+// Network describes the interconnect attached to every node.
+type Network struct {
+	// NICPower is the constant power of each node's network interface.
+	NICPower units.Power
+	// SwitchPower is one switch's constant power, amortized over
+	// SwitchRadix nodes.
+	SwitchPower units.Power
+	SwitchRadix int
+	// LinkBW is each node's injection bandwidth.
+	LinkBW units.ByteRate
+	// EpsLink is the inclusive energy to move one byte node-to-node
+	// (serdes, switch traversal, NIC DMA on both ends).
+	EpsLink units.EnergyPerByte
+}
+
+// Validate checks the network parameters.
+func (n Network) Validate() error {
+	if n.NICPower < 0 || n.SwitchPower < 0 {
+		return errors.New("cluster: network powers must be non-negative")
+	}
+	if n.SwitchRadix < 1 {
+		return errors.New("cluster: switch radix must be >= 1")
+	}
+	if n.LinkBW <= 0 {
+		return errors.New("cluster: link bandwidth must be positive")
+	}
+	if n.EpsLink < 0 {
+		return errors.New("cluster: link energy must be non-negative")
+	}
+	return nil
+}
+
+// PerNodeConstantPower is the network's constant-power charge per node:
+// the NIC plus the amortized switch share.
+func (n Network) PerNodeConstantPower() units.Power {
+	return n.NICPower + units.Power(float64(n.SwitchPower)/float64(n.SwitchRadix))
+}
+
+// EthernetLowPower is a small-system network: a 1 GbE-class NIC and an
+// amortized edge switch. Numbers are representative of the Mont
+// Blanc-era boards the paper cites.
+func EthernetLowPower() Network {
+	return Network{
+		NICPower:    0.8,
+		SwitchPower: 30,
+		SwitchRadix: 48,
+		LinkBW:      units.GBPerSec(0.117), // ~1 Gb/s
+		EpsLink:     units.PicoJoulePerByte(8000),
+	}
+}
+
+// InfinibandFDR is an HPC-class fabric: FDR-generation NIC and switch.
+func InfinibandFDR() Network {
+	return Network{
+		NICPower:    8,
+		SwitchPower: 120,
+		SwitchRadix: 36,
+		LinkBW:      units.GBPerSec(6.8),
+		EpsLink:     units.PicoJoulePerByte(1500),
+	}
+}
+
+// Pattern is a bulk-synchronous communication pattern.
+type Pattern int
+
+// The supported patterns.
+const (
+	// Embarrassing performs no communication.
+	Embarrassing Pattern = iota
+	// Halo exchanges one payload with a fixed set of neighbours
+	// (stencil-style surface exchange).
+	Halo
+	// AllReduce reduces one payload across all nodes (ring algorithm:
+	// each node moves ~2x the payload regardless of N).
+	AllReduce
+	// AllToAll sends a distinct payload to every other node.
+	AllToAll
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Embarrassing:
+		return "embarrassing"
+	case Halo:
+		return "halo"
+	case AllReduce:
+		return "allreduce"
+	case AllToAll:
+		return "all-to-all"
+	default:
+		return "unknown"
+	}
+}
+
+// wireVolume returns the bytes each node pushes through its link for a
+// per-node payload msg under the pattern.
+func wireVolume(p Pattern, msg units.Bytes, nodes int) (units.Bytes, error) {
+	switch p {
+	case Embarrassing:
+		return 0, nil
+	case Halo:
+		return msg, nil
+	case AllReduce:
+		if nodes < 2 {
+			return 0, nil
+		}
+		f := 2 * float64(nodes-1) / float64(nodes)
+		return units.Bytes(f * float64(msg)), nil
+	case AllToAll:
+		return units.Bytes(float64(msg) * float64(nodes-1)), nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown pattern %d", p)
+	}
+}
+
+// Cluster is N identical nodes joined by a network.
+type Cluster struct {
+	Node  model.Params
+	Nodes int
+	Net   Network
+	// Overlap reports whether communication overlaps computation (true
+	// for pipelined codes) or serializes after it (plain BSP).
+	Overlap bool
+}
+
+// Validate checks the cluster.
+func (c *Cluster) Validate() error {
+	if err := c.Node.Validate(); err != nil {
+		return err
+	}
+	if c.Nodes < 1 {
+		return errors.New("cluster: need at least one node")
+	}
+	return c.Net.Validate()
+}
+
+// ConstantPower is the whole system's constant power: node pi_1 plus the
+// per-node network charge, times N.
+func (c *Cluster) ConstantPower() units.Power {
+	per := float64(c.Node.Pi1) + float64(c.Net.PerNodeConstantPower())
+	return units.Power(per * float64(c.Nodes))
+}
+
+// PeakPower is the whole system's worst-case power.
+func (c *Cluster) PeakPower() units.Power {
+	dyn := math.Min(float64(c.Node.DeltaPi),
+		float64(c.Node.PiFlop())+float64(c.Node.PiMem()))
+	// Link power at full injection counts against the node's envelope
+	// only through EpsLink (we do not model a separate link cap).
+	return units.Power(float64(c.ConstantPower()) + dyn*float64(c.Nodes))
+}
+
+// Step is one bulk-synchronous superstep: the whole system executes w
+// flops and moves q local bytes (both divided evenly over nodes), then
+// each node communicates a payload of msg bytes under the pattern.
+type Step struct {
+	W       units.Flops
+	Q       units.Bytes
+	Msg     units.Bytes // per-node payload for the pattern
+	Pattern Pattern
+}
+
+// Prediction is the cluster-level outcome of one step.
+type Prediction struct {
+	Time     units.Time
+	Energy   units.Energy
+	AvgPower units.Power
+	// CommTime is the (per-node) wire time of the step; under Overlap it
+	// may hide inside the compute time.
+	CommTime units.Time
+	// CommEnergy is the total link energy spent.
+	CommEnergy units.Energy
+	// NetworkBound reports whether the wire, not the node, set the pace.
+	NetworkBound bool
+}
+
+// Run evaluates one step.
+func (c *Cluster) Run(s Step) (Prediction, error) {
+	if err := c.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	if s.W < 0 || s.Q < 0 || s.Msg < 0 {
+		return Prediction{}, errors.New("cluster: negative step component")
+	}
+	n := float64(c.Nodes)
+	wNode := units.Flops(float64(s.W) / n)
+	qNode := units.Bytes(float64(s.Q) / n)
+	compute := float64(c.Node.Time(wNode, qNode))
+
+	wire, err := wireVolume(s.Pattern, s.Msg, c.Nodes)
+	if err != nil {
+		return Prediction{}, err
+	}
+	comm := float64(wire) / float64(c.Net.LinkBW)
+
+	var total float64
+	if c.Overlap {
+		total = math.Max(compute, comm)
+	} else {
+		total = compute + comm
+	}
+
+	// Energy: node dynamic + link dynamic + all constant power for the
+	// full step duration.
+	nodeDyn := float64(wNode)*float64(c.Node.EpsFlop) + float64(qNode)*float64(c.Node.EpsMem)
+	linkDyn := float64(wire) * float64(c.Net.EpsLink)
+	constP := float64(c.ConstantPower())
+	energy := n*(nodeDyn+linkDyn) + constP*total
+
+	return Prediction{
+		Time:         units.Time(total),
+		Energy:       units.Energy(energy),
+		AvgPower:     units.Energy(energy).Over(units.Time(total)),
+		CommTime:     units.Time(comm),
+		CommEnergy:   units.Energy(n * linkDyn),
+		NetworkBound: comm > compute,
+	}, nil
+}
+
+// EffectiveParams folds the cluster into a single capped-model machine
+// for communication-free workloads: aggregate throughputs, per-op node
+// energies, and constant power including the network's share. It is the
+// machine fig. 1's dashed "47x" line would become once the network's
+// constant power is charged.
+func (c *Cluster) EffectiveParams() (model.Params, error) {
+	if err := c.Validate(); err != nil {
+		return model.Params{}, err
+	}
+	agg, err := c.Node.Scale(float64(c.Nodes))
+	if err != nil {
+		return model.Params{}, err
+	}
+	agg.Pi1 = c.ConstantPower()
+	return agg, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"archline/internal/machine"
+	"archline/internal/report"
+	"archline/internal/units"
+)
+
+// DPPlatform is one platform's double-precision energy picture. The
+// paper's evaluation focuses on single precision ("full support for
+// double is incomplete on several of our evaluation platforms") but
+// publishes eps_d in Table I for the nine platforms that have it; this
+// experiment is the double-precision analysis those columns support.
+type DPPlatform struct {
+	Platform *machine.Platform
+	// EpsRatio is eps_d/eps_s: the per-flop energy premium of double
+	// precision.
+	EpsRatio float64
+	// RateRatio is sustained DP/SP throughput.
+	RateRatio float64
+	// PeakFlopsPerJoule is the DP asymptotic energy efficiency.
+	PeakFlopsPerJoule units.FlopsPerJoule
+	// BalanceDP is the DP time balance (flop:Byte) — how much easier it
+	// is to be compute-bound in double precision.
+	BalanceDP units.Intensity
+}
+
+// DPResult ranks the double-capable platforms by DP energy efficiency.
+type DPResult struct {
+	Platforms []*DPPlatform
+}
+
+// DoublePrecision computes the DP analysis over the nine double-capable
+// platforms.
+func DoublePrecision() (*DPResult, error) {
+	res := &DPResult{}
+	for _, plat := range machine.All() {
+		if !plat.SupportsDouble() {
+			continue
+		}
+		d, err := plat.DoubleParams()
+		if err != nil {
+			return nil, err
+		}
+		res.Platforms = append(res.Platforms, &DPPlatform{
+			Platform:          plat,
+			EpsRatio:          float64(plat.DoubleEps) / float64(plat.Single.EpsFlop),
+			RateRatio:         float64(plat.Sustained.DoubleRate) / float64(plat.Sustained.SingleRate),
+			PeakFlopsPerJoule: d.PeakFlopsPerJoule(),
+			BalanceDP:         d.TimeBalance(),
+		})
+	}
+	sort.SliceStable(res.Platforms, func(i, j int) bool {
+		return res.Platforms[i].PeakFlopsPerJoule > res.Platforms[j].PeakFlopsPerJoule
+	})
+	return res, nil
+}
+
+// Render formats the DP table.
+func (r *DPResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Double precision: per-flop energy premium and efficiency (Table I eps_d columns)\n\n")
+	tb := &report.Table{
+		Headers: []string{"platform", "eps_d/eps_s", "DP/SP rate", "DP peak flop/J", "DP B_tau"},
+	}
+	for _, p := range r.Platforms {
+		tb.AddRow(
+			p.Platform.Name,
+			fmt.Sprintf("%.2fx", p.EpsRatio),
+			fmt.Sprintf("%.2fx", p.RateRatio),
+			units.FormatFlopsPerJoule(p.PeakFlopsPerJoule),
+			units.FormatIntensity(p.BalanceDP),
+		)
+	}
+	b.WriteString(tb.Render())
+	b.WriteString("\n(3 platforms — NUC GPU, APU GPU, Arndale GPU — lack double support and are omitted)\n")
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"archline/internal/machine"
+	"archline/internal/model"
+	"archline/internal/report"
+	"archline/internal/units"
+)
+
+// DVFSPoint is one intensity's energy-optimal operating point.
+type DVFSPoint struct {
+	I units.Intensity
+	// FOpt is the energy-optimal frequency as a fraction of nominal.
+	FOpt float64
+	// EffGain is flop/J at FOpt relative to flop/J at nominal.
+	EffGain float64
+}
+
+// DVFSPlatform is one platform's DVFS analysis.
+type DVFSPlatform struct {
+	Platform *machine.Platform
+	Envelope model.DVFS
+	Points   []DVFSPoint
+}
+
+// DVFSResult extends the what-if catalogue with frequency scaling, the
+// knob the power-bounding literature the paper cites (Rountree et al.)
+// manages: for each platform, the energy-optimal frequency per intensity
+// and the efficiency gained over running at nominal.
+type DVFSResult struct {
+	Platforms []*DVFSPlatform
+}
+
+// envelopeFor builds a representative DVFS envelope for a platform:
+// mobile SoCs share clock domains with memory, discrete cards do not.
+func envelopeFor(p *machine.Platform) model.DVFS {
+	d := model.DVFS{
+		Base:         p.Single,
+		F0:           1e9, // normalized: only ratios matter below
+		FMin:         0.4e9,
+		FMax:         1e9,
+		V0:           1.1,
+		VMin:         0.85,
+		FVmin:        0.6e9,
+		Pi1FreqShare: 0.35,
+	}
+	if p.Class == machine.ClassMobile || p.Class == machine.ClassMini {
+		d.MemScaling = 0.5
+		d.Pi1FreqShare = 0.5
+	}
+	return d
+}
+
+// DVFSAnalysis sweeps the energy-optimal frequency across intensities on
+// every platform.
+func DVFSAnalysis() (*DVFSResult, error) {
+	res := &DVFSResult{}
+	grid := model.LogSpace(0.25, 256, 6)
+	for _, plat := range machine.ByPeakEfficiency() {
+		d := envelopeFor(plat)
+		dp := &DVFSPlatform{Platform: plat, Envelope: d}
+		for _, i := range grid {
+			fOpt, err := d.EnergyOptimalFrequency(i)
+			if err != nil {
+				return nil, err
+			}
+			pOpt, err := d.AtFrequency(fOpt)
+			if err != nil {
+				return nil, err
+			}
+			nominal, err := d.AtFrequency(d.F0)
+			if err != nil {
+				return nil, err
+			}
+			gain := float64(pOpt.FlopsPerJouleAt(i)) / float64(nominal.FlopsPerJouleAt(i))
+			dp.Points = append(dp.Points, DVFSPoint{
+				I: i, FOpt: fOpt / d.F0, EffGain: gain,
+			})
+		}
+		res.Platforms = append(res.Platforms, dp)
+	}
+	return res, nil
+}
+
+// Render formats the DVFS analysis.
+func (r *DVFSResult) Render() string {
+	var b strings.Builder
+	b.WriteString("DVFS extension: energy-optimal frequency (fraction of nominal) by intensity\n")
+	b.WriteString("and flop/J gain over running at nominal\n\n")
+	if len(r.Platforms) == 0 {
+		return b.String()
+	}
+	headers := []string{"platform"}
+	for _, pt := range r.Platforms[0].Points {
+		headers = append(headers, "I="+units.FormatIntensity(pt.I))
+	}
+	tb := &report.Table{Headers: headers}
+	for _, dp := range r.Platforms {
+		row := []string{dp.Platform.Name}
+		for _, pt := range dp.Points {
+			row = append(row, fmt.Sprintf("%.2f (%.2fx)", pt.FOpt, pt.EffGain))
+		}
+		tb.AddRow(row...)
+	}
+	b.WriteString(tb.Render())
+	b.WriteString("\n(memory-bound work wants the lowest clock; compute-bound work balances pi_1 time against V^2 energy)\n")
+	return b.String()
+}

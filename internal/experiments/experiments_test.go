@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"archline/internal/machine"
+	"archline/internal/model"
+)
+
+// fastOpts keeps the full-pipeline tests quick while staying realistic.
+func fastOpts() Options { return Options{Seed: 17, SweepPoints: 15} }
+
+func TestTableIReproduction(t *testing.T) {
+	res, err := TableI(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// Quirk-free platforms recover the published constants tightly.
+	for _, param := range []string{"tau_flop", "tau_mem", "pi_1"} {
+		if e := res.MaxRelErr(param); e > 0.12 {
+			t.Errorf("worst %s error %.3f exceeds 12%%", param, e)
+		}
+	}
+	if e := res.MaxRelErr("eps_mem"); e > 0.20 {
+		t.Errorf("worst eps_mem error %.3f exceeds 20%%", e)
+	}
+	if e := res.MaxRelErr("delta_pi"); e > 0.15 {
+		t.Errorf("worst delta_pi error %.3f exceeds 15%%", e)
+	}
+	// eps_s on platforms whose flop power is watts-scale against a tens-
+	// of-watts pi_1 is noise-limited; 20% is the realistic bound.
+	if e := res.MaxRelErr("eps_s"); e > 0.20 {
+		t.Errorf("worst eps_s error %.3f exceeds 20%%", e)
+	}
+	out := res.Render()
+	for _, want := range []string{"Table I reproduction", "GTX Titan", "Arndale GPU", "eps_rand", "fit residual"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig1Reproduction(t *testing.T) {
+	res, err := Fig1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := res.Comparison
+	if bc.AggCount != 47 {
+		t.Errorf("aggregate count %d, paper: 47", bc.AggCount)
+	}
+	if x := float64(bc.EnergyCrossover); x < 1.5 || x > 8 {
+		t.Errorf("energy crossover %v, paper: ~4", x)
+	}
+	if bc.MaxAggSpeedup < 1.3 || bc.MaxAggSpeedup > 2.0 {
+		t.Errorf("aggregate speedup %v, paper: up to 1.6x", bc.MaxAggSpeedup)
+	}
+	if bc.AggPeakFraction >= 0.5 {
+		t.Errorf("aggregate peak fraction %v, paper: < 1/2", bc.AggPeakFraction)
+	}
+	// Measured dots exist for both platforms and track the model.
+	for pi := range res.MeasuredPower {
+		if len(res.MeasuredPower[pi]) < 10 {
+			t.Fatalf("platform %d has %d measured points", pi, len(res.MeasuredPower[pi]))
+		}
+	}
+	// Titan's measured power tracks its model curve within 20%.
+	titan := machine.MustByID(machine.GTXTitan).Single
+	for _, pt := range res.MeasuredPower[0] {
+		want := float64(titan.AvgPowerAt(pt.I))
+		if math.Abs(pt.Value-want) > 0.2*want {
+			t.Errorf("measured Titan power %v at I=%v, model %v", pt.Value, pt.I, want)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Fig. 1", "flop / time", "flop / energy", "power", "47 x Arndale GPU", "crossover"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig4Reproduction(t *testing.T) {
+	res, err := Fig4(Options{Seed: 9, SweepPoints: 25, Replicates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Platforms) != 12 {
+		t.Fatalf("got %d platforms", len(res.Platforms))
+	}
+	// The headline claim: the capped model's errors are smaller or more
+	// tightly grouped on every platform.
+	for _, p := range res.Platforms {
+		if !p.Improved() {
+			t.Errorf("%s: capped model did not improve the median error", p.Platform.Name)
+		}
+	}
+	// The uncapped model overpredicts (positive bias) on the platforms
+	// where the cap binds hard: the top of the fig. 4 ordering.
+	top := res.Platforms[0]
+	if top.UncappedSummary.Median < 0.04 {
+		t.Errorf("worst platform's uncapped median %v should be clearly positive",
+			top.UncappedSummary.Median)
+	}
+	// A majority of platforms differ significantly under K-S (paper: 7 of
+	// 12; the exact count depends on noise draws).
+	if n := res.SignificantCount(); n < 5 {
+		t.Errorf("only %d platforms significant, paper found 7", n)
+	}
+	// The cap-dominated GPUs must be among the significant ones.
+	for _, p := range res.Platforms {
+		switch p.Platform.ID {
+		case machine.ArndaleGPU, machine.GTX680, machine.NUCGPU:
+			if !p.Significant() {
+				t.Errorf("%s should be K-S significant", p.Platform.Name)
+			}
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Fig. 4", "**", "K-S", "of 12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig5Reproduction(t *testing.T) {
+	res, err := Fig5(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 12 {
+		t.Fatalf("got %d panels", len(res.Panels))
+	}
+	// Panel order: Titan first, Desktop CPU (or APU CPU) last.
+	if res.Panels[0].Platform.ID != machine.GTXTitan {
+		t.Errorf("first panel %s, want GTX Titan", res.Panels[0].Platform.ID)
+	}
+	last := res.Panels[11].Platform.ID
+	if last != machine.DesktopCPU && last != machine.APUCPU {
+		t.Errorf("last panel %s, want Desktop CPU or APU CPU", last)
+	}
+	for _, panel := range res.Panels {
+		// Mispredictions bounded: the paper says always < 15% even on the
+		// anomalous platforms.
+		if panel.MaxAbsErr > 0.16 {
+			t.Errorf("%s: max model error %.1f%% exceeds the paper's 15%% bound",
+				panel.Platform.Name, 100*panel.MaxAbsErr)
+		}
+		// Normalized model power peaks at 1 where the cap binds.
+		peak := 0.0
+		for _, pt := range panel.Model {
+			peak = math.Max(peak, pt.Value)
+		}
+		if peak > 1.0001 {
+			t.Errorf("%s: normalized model power %v exceeds 1", panel.Platform.Name, peak)
+		}
+		if peak < 0.85 {
+			t.Errorf("%s: normalized peak %v never approaches the cap", panel.Platform.Name, peak)
+		}
+		// All three regimes should appear somewhere across the 12 panels;
+		// each panel is individually in sane regime order (M before C
+		// before F as intensity grows).
+		lastRegime := model.MemoryBound
+		for k, reg := range panel.Regimes {
+			if reg < lastRegime {
+				t.Errorf("%s: regime went backwards at point %d", panel.Platform.Name, k)
+			}
+			lastRegime = reg
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Fig. 5", "GTX Titan", "regimes:", "C@", "max |model-measured|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestThrottleReproduction(t *testing.T) {
+	for _, q := range []ThrottleQuantity{ThrottlePower, ThrottlePerf, ThrottleEff} {
+		res, err := Throttle(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Panels) != 12 {
+			t.Fatalf("%v: got %d panels", q, len(res.Panels))
+		}
+		for _, panel := range res.Panels {
+			if len(panel.Curves) != 4 {
+				t.Fatalf("%v %s: %d curves", q, panel.Platform.Name, len(panel.Curves))
+			}
+		}
+	}
+	// Section V-D observations on the power figure:
+	res, _ := Throttle(ThrottlePower)
+	var mali, phi *ThrottlePanel
+	for _, p := range res.Panels {
+		switch p.Platform.ID {
+		case machine.ArndaleGPU:
+			mali = p
+		case machine.XeonPhi:
+			phi = p
+		}
+	}
+	// "the Arndale GPU has the most potential to reduce system power by
+	// reducing DeltaPi, whereas the Xeon Phi ... the least".
+	if mali.PowerReduction[3] >= phi.PowerReduction[3] {
+		t.Errorf("Arndale reduction %v should beat Phi %v",
+			mali.PowerReduction[3], phi.PowerReduction[3])
+	}
+	out := res.Render()
+	for _, want := range []string{"Fig. 6", "full", "1/8", "peak power ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	out = mustRender(t, ThrottlePerf)
+	if !strings.Contains(out, "Fig. 7a") {
+		t.Error("7a title missing")
+	}
+	out = mustRender(t, ThrottleEff)
+	if !strings.Contains(out, "Fig. 7b") {
+		t.Error("7b title missing")
+	}
+}
+
+func mustRender(t *testing.T, q ThrottleQuantity) string {
+	t.Helper()
+	res, err := Throttle(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Render()
+}
+
+func TestFig7aTitanVsNUCCPUDegradation(t *testing.T) {
+	// Section V-D: "Highly memory-bound, low intensity computations on
+	// the GTX Titan degrade the least as DeltaPi decreases ... for highly
+	// compute-bound computations, the NUC CPU degrades the least".
+	res, err := Throttle(ThrottlePerf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradation := func(id machine.ID, idx int) float64 {
+		for _, p := range res.Panels {
+			if p.Platform.ID == id {
+				full := p.Curves[0].Points[idx]
+				eighth := p.Curves[3].Points[idx]
+				return float64(eighth.Perf) / float64(full.Perf)
+			}
+		}
+		t.Fatalf("panel %s not found", id)
+		return 0
+	}
+	lowI, highI := 0, 40 // grid endpoints: I=0.25 and I=128
+	// At low intensity the Titan retains more of its performance than the
+	// NUC CPU; at high intensity the opposite.
+	if degradation(machine.GTXTitan, lowI) <= degradation(machine.NUCCPU, lowI) {
+		t.Error("Titan should degrade least at low intensity")
+	}
+	if degradation(machine.NUCCPU, highI) <= degradation(machine.GTXTitan, highI) {
+		t.Error("NUC CPU should degrade least at high intensity")
+	}
+}
+
+func TestScenariosReproduction(t *testing.T) {
+	res, err := Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streaming) != 12 {
+		t.Fatalf("streaming ranking has %d entries", len(res.Streaming))
+	}
+	if res.ConstPower.OverHalf != 7 {
+		t.Errorf("over-half count %d, paper: 7", res.ConstPower.OverHalf)
+	}
+	if res.Bounding.SmallCount != 23 {
+		t.Errorf("small count %d, paper: 23", res.Bounding.SmallCount)
+	}
+	if math.Abs(res.Bounding.BigPerfRatio-0.31) > 0.05 {
+		t.Errorf("big perf ratio %v, paper: ~0.31", res.Bounding.BigPerfRatio)
+	}
+	out := res.Render()
+	for _, want := range []string{"Section V-B", "Section V-C", "Section V-D", "Arndale GPU", "paper: 23"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"archline/internal/machine"
+)
+
+func TestDoublePrecision(t *testing.T) {
+	res, err := DoublePrecision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nine double-capable platforms.
+	if len(res.Platforms) != 9 {
+		t.Fatalf("got %d platforms, want 9", len(res.Platforms))
+	}
+	for _, p := range res.Platforms {
+		// Double flops cost more energy than single everywhere in Table I.
+		if p.EpsRatio <= 1 {
+			t.Errorf("%s: eps_d/eps_s = %v, want > 1", p.Platform.Name, p.EpsRatio)
+		}
+		// And run no faster.
+		if p.RateRatio > 1.001 {
+			t.Errorf("%s: DP rate ratio %v > 1", p.Platform.Name, p.RateRatio)
+		}
+		if p.PeakFlopsPerJoule <= 0 {
+			t.Errorf("%s: non-positive DP efficiency", p.Platform.Name)
+		}
+	}
+	// Sorted descending.
+	for i := 1; i < len(res.Platforms); i++ {
+		if res.Platforms[i].PeakFlopsPerJoule > res.Platforms[i-1].PeakFlopsPerJoule {
+			t.Fatal("not sorted by DP efficiency")
+		}
+	}
+	// The Phi and Titan lead in double precision, as their DP-oriented
+	// designs should.
+	leaders := map[machine.ID]bool{
+		res.Platforms[0].Platform.ID: true,
+		res.Platforms[1].Platform.ID: true,
+	}
+	if !leaders[machine.XeonPhi] || !leaders[machine.GTXTitan] {
+		t.Errorf("DP leaders should be Phi and Titan, got %v", leaders)
+	}
+	out := res.Render()
+	for _, want := range []string{"Double precision", "eps_d/eps_s", "Xeon Phi", "omitted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestNetworkCaveat(t *testing.T) {
+	res, err := Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 47 {
+		t.Errorf("nodes = %d, want 47", res.Nodes)
+	}
+	if len(res.Cases) != 3 {
+		t.Fatalf("got %d cases", len(res.Cases))
+	}
+	free, eth, ib := res.Cases[0], res.Cases[1], res.Cases[2]
+	// Free network: the fig. 1 best case — aggregate ahead on energy
+	// (fig. 1's middle panel shows the two close at low intensity, the
+	// Arndale slightly ahead) and clearly ahead on performance.
+	if free.EffAdvantage < 1.05 {
+		t.Errorf("free-network flop/J advantage %v, expected the fig. 1 best case", free.EffAdvantage)
+	}
+	if free.PerfAdvantage < 1.3 {
+		t.Errorf("free-network flop/s advantage %v, expected ~1.6x", free.PerfAdvantage)
+	}
+	// Any real network erodes both.
+	for _, c := range []NetworkCase{eth, ib} {
+		if c.EffAdvantage >= free.EffAdvantage {
+			t.Errorf("%s: network should erode the energy advantage", c.Name)
+		}
+		if c.PerfAdvantage >= free.PerfAdvantage*1.001 {
+			t.Errorf("%s: network should not improve the perf advantage", c.Name)
+		}
+	}
+	// The paper's prediction: "marginally or not at all" — the IB case
+	// (8 W NICs on 6 W nodes!) should erase the energy advantage
+	// entirely.
+	if ib.EffAdvantage >= 1 {
+		t.Errorf("FDR NICs should erase the 47-node advantage, got %vx", ib.EffAdvantage)
+	}
+	out := res.Render()
+	for _, want := range []string{"47-Arndale-GPU", "1 GbE", "InfiniBand", "marginally"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestDVFSAnalysis(t *testing.T) {
+	res, err := DVFSAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Platforms) != 12 {
+		t.Fatalf("got %d platforms", len(res.Platforms))
+	}
+	for _, dp := range res.Platforms {
+		if len(dp.Points) != 6 {
+			t.Fatalf("%s: %d points", dp.Platform.Name, len(dp.Points))
+		}
+		for _, pt := range dp.Points {
+			if pt.FOpt < 0.39 || pt.FOpt > 1.01 {
+				t.Errorf("%s I=%v: optimal frequency fraction %v outside envelope",
+					dp.Platform.Name, pt.I, pt.FOpt)
+			}
+			// The optimum never loses to nominal (up to the search's
+			// 1e-6 frequency tolerance).
+			if pt.EffGain < 1-1e-6 {
+				t.Errorf("%s I=%v: optimal point worse than nominal (%v)",
+					dp.Platform.Name, pt.I, pt.EffGain)
+			}
+		}
+		// The memory-bound optimum sits at a floor: the frequency floor
+		// when memory is clock-independent (discrete cards — downclocking
+		// is free bandwidth-wise), or the *voltage* floor when memory is
+		// clock-coupled (SoCs — below it, slowing the clock cuts
+		// bandwidth with no V^2 savings left).
+		floor := 0.41 // FMin/F0 with slack
+		if dp.Envelope.MemScaling > 0 {
+			floor = dp.Envelope.FVmin/dp.Envelope.F0 + 0.01
+		}
+		if dp.Points[0].FOpt > floor {
+			t.Errorf("%s: memory-bound optimum %v should sit at the floor %v",
+				dp.Platform.Name, dp.Points[0].FOpt, floor)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"DVFS extension", "GTX Titan", "I=1/4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestPi1Experiment(t *testing.T) {
+	res, err := Pi1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Studies) != 12 {
+		t.Fatalf("got %d studies", len(res.Studies))
+	}
+	out := res.Render()
+	for _, want := range []string{"Constant-power reduction", "pi_1 share", "Xeon Phi", "reconfigurability"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestMemoryMountain(t *testing.T) {
+	res, err := Mountain(machine.DesktopCPU, Options{Seed: 5, Noiseless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sizes) == 0 || len(res.Strides) == 0 {
+		t.Fatal("empty mountain")
+	}
+	plat := res.Platform
+	// Unit-stride column: L1-resident sets run at L1 bandwidth, DRAM-
+	// sized sets at DRAM bandwidth.
+	colBW := func(i int) float64 { return float64(res.BW[i][0]) }
+	first, last := colBW(0), colBW(len(res.Sizes)-1)
+	if first < 0.9*float64(plat.Sustained.L1BW) {
+		t.Errorf("small-set bandwidth %v, want ~L1 %v", first, plat.Sustained.L1BW)
+	}
+	if last > 1.1*float64(plat.Sustained.MemBW) {
+		t.Errorf("large-set bandwidth %v, want ~DRAM %v", last, plat.Sustained.MemBW)
+	}
+	// Along a row, useful bandwidth is non-increasing with stride.
+	for i := range res.Sizes {
+		for j := 1; j < len(res.Strides); j++ {
+			if float64(res.BW[i][j]) > float64(res.BW[i][j-1])*1.01 {
+				t.Errorf("bandwidth rose with stride at ws=%v stride=%v",
+					res.Sizes[i], res.Strides[j])
+			}
+		}
+	}
+	// Line-stride column collapses by the word/line ratio.
+	lineCol := -1
+	for j, st := range res.Strides {
+		if st == plat.CacheLine {
+			lineCol = j
+		}
+	}
+	if lineCol >= 0 {
+		ratio := float64(res.BW[0][lineCol]) / colBW(0)
+		want := 4 / float64(plat.CacheLine)
+		if ratio > want*1.2 || ratio < want*0.8 {
+			t.Errorf("line-stride collapse ratio %v, want ~%v", ratio, want)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"memory mountain", "working set", "plateau"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if _, err := Mountain("bogus", Options{}); err == nil {
+		t.Error("unknown platform should error")
+	}
+}
+
+func TestParallelDriversDeterministic(t *testing.T) {
+	// Platform fan-out must not change any result: worker counts 1 and 8
+	// produce identical artefacts (noise streams key on platform IDs).
+	serial := Options{Seed: 23, SweepPoints: 10, Workers: 1}
+	parallel := Options{Seed: 23, SweepPoints: 10, Workers: 8}
+
+	a, err := TableI(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TableI(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Error("TableI differs across worker counts")
+	}
+
+	f1, err := Fig4(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Fig4(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Render() != f2.Render() {
+		t.Error("Fig4 differs across worker counts")
+	}
+
+	p1, err := Fig5(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Fig5(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Render() != p2.Render() {
+		t.Error("Fig5 differs across worker counts")
+	}
+}
+
+func TestForEachPlatformErrorPropagation(t *testing.T) {
+	plats := machine.All()
+	_, err := forEachPlatform(plats, 4, func(p *machine.Platform) (int, error) {
+		if p.ID == machine.XeonPhi {
+			return 0, errFake
+		}
+		return 1, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "Xeon Phi") {
+		t.Errorf("error should name the failing platform, got %v", err)
+	}
+	// Order preservation.
+	vals, err := forEachPlatform(plats, 5, func(p *machine.Platform) (machine.ID, error) {
+		return p.ID, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plats {
+		if vals[i] != p.ID {
+			t.Fatal("results out of order")
+		}
+	}
+}
+
+var errFake = fmt.Errorf("synthetic failure")
+
+func TestScalingExperiment(t *testing.T) {
+	res, err := Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sizes) != 7 || len(res.Fabrics) != 2 {
+		t.Fatal("shape")
+	}
+	for _, f := range res.Fabrics {
+		if len(res.Strong[f]) != 7 || len(res.Weak[f]) != 7 {
+			t.Fatalf("%s: sweep lengths", f)
+		}
+	}
+	// Strong scaling on GbE collapses by 64 nodes; on IB it holds longer.
+	gbe := res.Strong["1 GbE"][6].Efficiency
+	ib := res.Strong["FDR IB"][6].Efficiency
+	if gbe >= ib {
+		t.Errorf("GbE strong efficiency %v should trail IB %v at 64 nodes", gbe, ib)
+	}
+	// Weak scaling on IB stays near 1.
+	if res.Weak["FDR IB"][6].Efficiency < 0.9 {
+		t.Errorf("IB weak efficiency %v", res.Weak["FDR IB"][6].Efficiency)
+	}
+	out := res.Render()
+	for _, want := range []string{"Cluster scaling", "strong scaling", "weak scaling", "1 GbE", "FDR IB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

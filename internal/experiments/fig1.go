@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"archline/internal/machine"
+	"archline/internal/report"
+	"archline/internal/scenario"
+	"archline/internal/sim"
+	"archline/internal/units"
+)
+
+// Fig1Result is the fig. 1 / section I demonstration: GTX Titan versus
+// Arndale GPU (and the power-matched aggregate) on time-efficiency,
+// energy-efficiency, and power over intensity, with simulated
+// measurements overlaid on the model curves.
+type Fig1Result struct {
+	Comparison *scenario.BlockComparison
+	// Measured holds the simulated microbenchmark dots for the two real
+	// machines: [Titan, Arndale GPU] per metric.
+	MeasuredPerf  [2][]scenario.MetricPoint
+	MeasuredEff   [2][]scenario.MetricPoint
+	MeasuredPower [2][]scenario.MetricPoint
+}
+
+// Fig1 reproduces fig. 1 over the paper's 1/8..256 flop:Byte range.
+func Fig1(opts Options) (*Fig1Result, error) {
+	titan := machine.MustByID(machine.GTXTitan)
+	mali := machine.MustByID(machine.ArndaleGPU)
+	bc, err := scenario.CompareBlocks(titan.Name, titan.Single, mali.Name, mali.Single,
+		0.125, 256, 64)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{Comparison: bc}
+	for pi, plat := range []*machine.Platform{titan, mali} {
+		suite, err := opts.runSuite(plat)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range suite.Sweep(sim.Single) {
+			if m.Intensity > 256 || m.Intensity < 0.125 {
+				continue
+			}
+			rate := float64(m.W) / float64(m.Time)
+			eff := float64(m.W) / float64(m.Energy)
+			res.MeasuredPerf[pi] = append(res.MeasuredPerf[pi],
+				scenario.MetricPoint{I: m.Intensity, Value: rate})
+			res.MeasuredEff[pi] = append(res.MeasuredEff[pi],
+				scenario.MetricPoint{I: m.Intensity, Value: eff})
+			res.MeasuredPower[pi] = append(res.MeasuredPower[pi],
+				scenario.MetricPoint{I: m.Intensity, Value: float64(m.AvgPower)})
+		}
+	}
+	return res, nil
+}
+
+// plotPanel builds one ASCII panel combining model lines and measured dots.
+func (r *Fig1Result) plotPanel(title string, modelSeries [3]scenario.Series,
+	measured [2][]scenario.MetricPoint) string {
+	p := &report.Plot{
+		Title:  title,
+		XLabel: "intensity (single-precision flop:Byte)",
+		LogY:   true,
+		Height: 16,
+	}
+	markers := []byte{'T', 'a', '4'} // Titan, arndale, 47x aggregate
+	for i, s := range modelSeries {
+		ps := report.PlotSeries{Name: s.Name + " (model)", Marker: markers[i]}
+		for _, pt := range s.Points {
+			ps.X = append(ps.X, float64(pt.I))
+			ps.Y = append(ps.Y, pt.Value)
+		}
+		p.Series = append(p.Series, ps)
+	}
+	dotMarkers := []byte{'.', ','}
+	names := [2]string{"GTX Titan (measured)", "Arndale GPU (measured)"}
+	for i, pts := range measured {
+		ps := report.PlotSeries{Name: names[i], Marker: dotMarkers[i]}
+		for _, pt := range pts {
+			ps.X = append(ps.X, float64(pt.I))
+			ps.Y = append(ps.Y, pt.Value)
+		}
+		p.Series = append(p.Series, ps)
+	}
+	return p.Render()
+}
+
+// Render draws the three panels and the headline findings.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	bc := r.Comparison
+	b.WriteString("Fig. 1: GTX Titan vs Arndale GPU building blocks\n\n")
+	b.WriteString(r.plotPanel("flop / time (flop/s)", bc.Perf, r.MeasuredPerf))
+	b.WriteByte('\n')
+	b.WriteString(r.plotPanel("flop / energy (flop/J)", bc.Eff, r.MeasuredEff))
+	b.WriteByte('\n')
+	b.WriteString(r.plotPanel("power (W)", bc.Power, r.MeasuredPower))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "power-matched aggregate: %d x Arndale GPU (paper: 47)\n", bc.AggCount)
+	fmt.Fprintf(&b, "energy-efficiency crossover: I = %s flop:Byte (paper: ~4)\n",
+		units.FormatIntensity(bc.EnergyCrossover))
+	fmt.Fprintf(&b, "aggregate wins on perf below I = %s flop:Byte, by up to %.2fx (paper: up to 1.6x below ~4)\n",
+		units.FormatIntensity(bc.AggPerfCrossover), bc.MaxAggSpeedup)
+	fmt.Fprintf(&b, "aggregate peak is %.2fx of Titan peak (paper: < 1/2)\n", bc.AggPeakFraction)
+	return b.String()
+}

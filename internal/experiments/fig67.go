@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"archline/internal/machine"
+	"archline/internal/model"
+	"archline/internal/report"
+	"archline/internal/scenario"
+	"archline/internal/units"
+)
+
+// CapFractions are the paper's DeltaPi/k settings for figs. 6-7.
+var CapFractions = []float64{1, 0.5, 0.25, 0.125}
+
+// ThrottleQuantity selects which of figs. 6/7a/7b a throttling run
+// reproduces.
+type ThrottleQuantity int
+
+// The three throttling figures.
+const (
+	ThrottlePower ThrottleQuantity = iota // fig. 6
+	ThrottlePerf                          // fig. 7a
+	ThrottleEff                           // fig. 7b
+)
+
+// String names the quantity.
+func (q ThrottleQuantity) String() string {
+	switch q {
+	case ThrottlePower:
+		return "power"
+	case ThrottlePerf:
+		return "performance"
+	case ThrottleEff:
+		return "energy-efficiency"
+	default:
+		return "unknown"
+	}
+}
+
+// ThrottlePanel is one platform's family of cap curves.
+type ThrottlePanel struct {
+	Platform *machine.Platform
+	Curves   []scenario.ThrottleCurve
+	// PowerReduction[k] is peak power at CapFractions[k] relative to full
+	// cap: the section V-D observation that halving DeltaPi reduces power
+	// by less than half.
+	PowerReduction []float64
+}
+
+// ThrottleResult reproduces one of figs. 6/7a/7b across all platforms.
+type ThrottleResult struct {
+	Quantity ThrottleQuantity
+	Panels   []*ThrottlePanel
+}
+
+// Throttle runs the DeltaPi/k sweep for the requested quantity over all
+// twelve platforms in fig. 5 panel order.
+func Throttle(q ThrottleQuantity) (*ThrottleResult, error) {
+	grid := model.LogSpace(0.25, 128, 41) // figs. 6-7 x-range
+	res := &ThrottleResult{Quantity: q}
+	for _, plat := range machine.ByPeakEfficiency() {
+		curves, err := scenario.ThrottleSweep(plat.Single, CapFractions, grid)
+		if err != nil {
+			return nil, err
+		}
+		panel := &ThrottlePanel{Platform: plat, Curves: curves}
+		for _, f := range CapFractions {
+			r, err := scenario.PowerReduction(plat.Single, f)
+			if err != nil {
+				return nil, err
+			}
+			panel.PowerReduction = append(panel.PowerReduction, r)
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+// value extracts the plotted quantity from a throttle point, normalized
+// the way the figure normalizes (fig. 6: to pi_1+DeltaPi at full cap;
+// fig. 7a: to 4.0 Tflop/s; fig. 7b: to 16 Gflop/J — we normalize to the
+// best platform's peak like the paper).
+func (r *ThrottleResult) value(p *ThrottlePanel, pt scenario.ThrottlePoint) float64 {
+	switch r.Quantity {
+	case ThrottlePower:
+		full := float64(p.Platform.Single.Pi1) + float64(p.Platform.Single.DeltaPi)
+		return float64(pt.Power) / full
+	case ThrottlePerf:
+		return float64(pt.Perf)
+	default:
+		return float64(pt.Eff)
+	}
+}
+
+// Render draws each platform's curve family.
+func (r *ThrottleResult) Render() string {
+	var b strings.Builder
+	fig := map[ThrottleQuantity]string{
+		ThrottlePower: "Fig. 6", ThrottlePerf: "Fig. 7a", ThrottleEff: "Fig. 7b",
+	}[r.Quantity]
+	fmt.Fprintf(&b, "%s: hypothetical %s as the usable power cap decreases (full, 1/2, 1/4, 1/8)\n\n",
+		fig, r.Quantity)
+	fracName := map[float64]string{1: "full", 0.5: "1/2", 0.25: "1/4", 0.125: "1/8"}
+	for _, panel := range r.Panels {
+		fmt.Fprintf(&b, "== %s ==\n%s\n", panel.Platform.Name, report.PanelHeader(panel.Platform))
+		p := &report.Plot{
+			XLabel: "intensity (flop:Byte)",
+			Width:  64, Height: 10,
+			LogY: r.Quantity != ThrottlePower,
+		}
+		markers := []byte{'F', '2', '4', '8'}
+		for ci, c := range panel.Curves {
+			s := report.PlotSeries{Name: fracName[c.Frac], Marker: markers[ci%len(markers)]}
+			for _, pt := range c.Points {
+				s.X = append(s.X, float64(pt.I))
+				s.Y = append(s.Y, r.value(panel, pt))
+			}
+			p.Series = append(p.Series, s)
+		}
+		b.WriteString(p.Render())
+		// Regime letters per curve, the fig. 6 annotations.
+		for ci, c := range panel.Curves {
+			fmt.Fprintf(&b, "%s: ", fracName[c.Frac])
+			last := model.Regime(-1)
+			for k, pt := range c.Points {
+				if pt.Regime != last {
+					if last != model.Regime(-1) {
+						b.WriteString(" -> ")
+					}
+					fmt.Fprintf(&b, "%s@%s", pt.Regime.Letter(), units.FormatIntensity(c.Points[k].I))
+					last = pt.Regime
+				}
+			}
+			if r.Quantity == ThrottlePower {
+				fmt.Fprintf(&b, "   (peak power ratio %.2f)", panel.PowerReduction[ci])
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"archline/internal/machine"
+	"archline/internal/report"
+	"archline/internal/sim"
+	"archline/internal/units"
+)
+
+// MountainResult is the classic "memory mountain": effective (useful)
+// bandwidth as a function of working-set size and access stride. It
+// makes two of the paper's measurement-methodology points visible at
+// once: working sets that fit a cache level run at that level's
+// bandwidth (the premise of the cache microbenchmarks), and strides at
+// or beyond the line size waste transferred bytes (why the intensity
+// microbenchmark "directs" the prefetcher into loading only used data).
+type MountainResult struct {
+	Platform *machine.Platform
+	Sizes    []units.Bytes
+	Strides  []units.Bytes
+	// BW[i][j] is the useful bandwidth at Sizes[i], Strides[j].
+	BW [][]units.ByteRate
+}
+
+// Mountain sweeps working sets from 8 KiB to 64 MiB and strides from one
+// word to 4 KiB on the given platform.
+func Mountain(id machine.ID, opts Options) (*MountainResult, error) {
+	plat, err := machine.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	res := &MountainResult{Platform: plat}
+	for ws := units.KiB(8); ws <= units.MiB(64); ws *= 4 {
+		res.Sizes = append(res.Sizes, ws)
+	}
+	for st := units.Bytes(4); st <= units.KiB(4); st *= 4 {
+		res.Strides = append(res.Strides, st)
+	}
+	s := sim.New(plat, sim.Options{Seed: opts.Seed, Noiseless: opts.Noiseless})
+	for _, ws := range res.Sizes {
+		row := make([]units.ByteRate, 0, len(res.Strides))
+		for _, st := range res.Strides {
+			k := sim.Kernel{
+				Name:        fmt.Sprintf("mtn-%d-%d", int64(ws), int64(st)),
+				Precision:   sim.Single,
+				Pattern:     sim.StridedPattern,
+				WorkingSet:  ws,
+				Passes:      4,
+				StrideBytes: st,
+			}
+			if st == 4 {
+				k.Pattern = sim.StreamPattern
+			}
+			r, err := s.Run(k)
+			if err != nil {
+				return nil, err
+			}
+			// Useful bytes: one word per touched position.
+			var useful float64
+			if k.Pattern == sim.StreamPattern {
+				useful = float64(ws) * float64(k.Passes)
+			} else {
+				words := float64(ws) / float64(st)
+				if words < 1 {
+					words = 1
+				}
+				useful = words * 4 * float64(k.Passes)
+			}
+			row = append(row, units.ByteRate(useful/float64(r.TrueTime)))
+		}
+		res.BW = append(res.BW, row)
+	}
+	return res, nil
+}
+
+// Render draws the mountain as a table: rows are working sets, columns
+// strides, cells useful bandwidth.
+func (r *MountainResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s memory mountain: useful bandwidth by working set and stride\n", r.Platform.Name)
+	fmt.Fprintf(&b, "(L1 %s, L2 %s, line %d B)\n\n",
+		units.FormatSI(float64(r.Platform.L1Size), "B", 3),
+		units.FormatSI(float64(r.Platform.L2Size), "B", 3),
+		int64(r.Platform.CacheLine))
+	headers := []string{"working set"}
+	for _, st := range r.Strides {
+		headers = append(headers, "s="+units.FormatSI(float64(st), "B", 3))
+	}
+	tb := &report.Table{Headers: headers}
+	for i, ws := range r.Sizes {
+		row := []string{units.FormatSI(float64(ws), "B", 3)}
+		for _, bw := range r.BW[i] {
+			row = append(row, units.FormatByteRate(bw))
+		}
+		tb.AddRow(row...)
+	}
+	b.WriteString(tb.Render())
+	b.WriteString("\n(the plateau heights are the per-level bandwidths; large strides burn whole lines per word)\n")
+	return b.String()
+}

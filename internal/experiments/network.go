@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"archline/internal/cluster"
+	"archline/internal/machine"
+	"archline/internal/model"
+	"archline/internal/report"
+	"archline/internal/units"
+)
+
+// NetworkCase is the fig. 1 aggregate re-evaluated under one network.
+type NetworkCase struct {
+	Name string
+	Net  cluster.Network
+	// EffAdvantage is the aggregate's flop/J advantage over the Titan at
+	// I = 0.25 once the network's constant power is charged.
+	EffAdvantage float64
+	// PerfAdvantage is the flop/s advantage at I = 0.25 for a halo-style
+	// workload including wire time (per-step, overlap enabled).
+	PerfAdvantage float64
+	// ConstantPower is the cluster's total constant power.
+	ConstantPower units.Power
+}
+
+// NetworkResult quantifies the paper's caveat that fig. 1's 47-GPU
+// aggregate "ignores the significant costs of an interconnection
+// network" and is "more likely to improve upon GTX Titan only marginally
+// or not at all" once they are paid.
+type NetworkResult struct {
+	Nodes int
+	Cases []NetworkCase
+}
+
+// Network evaluates the 47-Arndale aggregate under a free network, a
+// low-power Ethernet fabric, and an HPC-class InfiniBand fabric.
+func Network() (*NetworkResult, error) {
+	titan := machine.MustByID(machine.GTXTitan).Single
+	mali := machine.MustByID(machine.ArndaleGPU).Single
+	nodes, err := model.PowerMatch(titan, mali)
+	if err != nil {
+		return nil, err
+	}
+	res := &NetworkResult{Nodes: nodes}
+	i := units.Intensity(0.25)
+
+	// The halo workload: enough flops for ~1 second on the aggregate at
+	// I = 0.25, exchanging a 2 MiB surface per node per step.
+	cases := []struct {
+		name string
+		net  cluster.Network
+	}{
+		{"free network", cluster.Network{SwitchRadix: 1, LinkBW: units.GBPerSec(1e6)}},
+		{"1 GbE class", cluster.EthernetLowPower()},
+		{"FDR InfiniBand", cluster.InfinibandFDR()},
+	}
+	titanRate := float64(titan.FlopRateAt(i))
+	titanEff := float64(titan.FlopsPerJouleAt(i))
+	for _, c := range cases {
+		cl := &cluster.Cluster{Node: mali, Nodes: nodes, Net: c.net, Overlap: true}
+		eff, err := cl.EffectiveParams()
+		if err != nil {
+			return nil, err
+		}
+		w := units.Flops(float64(eff.FlopRateAt(i)) * 1.0)
+		q := i.Bytes(w)
+		step := cluster.Step{W: w, Q: q, Msg: units.MiB(2), Pattern: cluster.Halo}
+		pred, err := cl.Run(step)
+		if err != nil {
+			return nil, err
+		}
+		res.Cases = append(res.Cases, NetworkCase{
+			Name:          c.name,
+			Net:           c.net,
+			EffAdvantage:  float64(eff.FlopsPerJouleAt(i)) / titanEff,
+			PerfAdvantage: float64(w) / float64(pred.Time) / titanRate,
+			ConstantPower: cl.ConstantPower(),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the network-adjusted comparison.
+func (r *NetworkResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1 caveat quantified: %d-Arndale-GPU aggregate vs GTX Titan at I = 1/4,\n", r.Nodes)
+	b.WriteString("once an interconnection network is charged (halo exchange, 2 MiB/node/step)\n\n")
+	tb := &report.Table{
+		Headers: []string{"network", "const power", "flop/J advantage", "flop/s advantage"},
+	}
+	for _, c := range r.Cases {
+		tb.AddRow(c.Name,
+			units.FormatPower(c.ConstantPower),
+			fmt.Sprintf("%.2fx", c.EffAdvantage),
+			fmt.Sprintf("%.2fx", c.PerfAdvantage))
+	}
+	b.WriteString(tb.Render())
+	b.WriteString("\n(the paper: with the network, the aggregate improves on the Titan \"only marginally or not at all\")\n")
+	return b.String()
+}

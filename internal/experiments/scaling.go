@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"archline/internal/cluster"
+	"archline/internal/machine"
+	"archline/internal/report"
+	"archline/internal/units"
+)
+
+// ScalingResult is the cluster-scaling study: the Arndale-GPU building
+// block swept from 1 to 64 nodes under strong and weak scaling on two
+// fabrics, completing the fig. 1 story at system scale.
+type ScalingResult struct {
+	Node    *machine.Platform
+	Strong  map[string][]cluster.ScalingPoint // by fabric name
+	Weak    map[string][]cluster.ScalingPoint
+	Fabrics []string
+	Sizes   []int
+}
+
+// Scaling runs the sweeps.
+func Scaling() (*ScalingResult, error) {
+	node := machine.MustByID(machine.ArndaleGPU)
+	res := &ScalingResult{
+		Node:    node,
+		Strong:  map[string][]cluster.ScalingPoint{},
+		Weak:    map[string][]cluster.ScalingPoint{},
+		Fabrics: []string{"1 GbE", "FDR IB"},
+		Sizes:   []int{1, 2, 4, 8, 16, 32, 64},
+	}
+	nets := map[string]cluster.Network{
+		"1 GbE":  cluster.EthernetLowPower(),
+		"FDR IB": cluster.InfinibandFDR(),
+	}
+	// Strong scaling: a fixed global stencil-like problem with fixed
+	// per-node halo; weak scaling: fixed per-node share.
+	strongStep := cluster.Step{
+		W: units.TFlops(0.1), Q: units.GB(40),
+		Msg: units.MiB(16), Pattern: cluster.Halo,
+	}
+	weakStep := cluster.Step{
+		W: units.GFlops(20), Q: units.GB(8),
+		Msg: units.MiB(4), Pattern: cluster.Halo,
+	}
+	for name, net := range nets {
+		s, err := cluster.ScalingSweep(node.Single, net, res.Sizes, strongStep,
+			cluster.StrongScaling, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Strong[name] = s
+		w, err := cluster.ScalingSweep(node.Single, net, res.Sizes, weakStep,
+			cluster.WeakScaling, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Weak[name] = w
+	}
+	return res, nil
+}
+
+// Render formats the sweeps.
+func (r *ScalingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster scaling of the %s building block (halo exchange, overlap on)\n\n", r.Node.Name)
+	for _, mode := range []string{"strong", "weak"} {
+		data := r.Strong
+		if mode == "weak" {
+			data = r.Weak
+		}
+		fmt.Fprintf(&b, "%s scaling — parallel efficiency by fabric:\n", mode)
+		headers := []string{"nodes"}
+		headers = append(headers, r.Fabrics...)
+		headers = append(headers, "network-bound")
+		tb := &report.Table{Headers: headers}
+		for k, n := range r.Sizes {
+			row := []string{fmt.Sprintf("%d", n)}
+			nb := ""
+			for _, f := range r.Fabrics {
+				pt := data[f][k]
+				row = append(row, fmt.Sprintf("%.2f", pt.Efficiency))
+				if pt.NetworkBound {
+					nb = nb + f + " "
+				}
+			}
+			row = append(row, strings.TrimSpace(nb))
+			tb.AddRow(row...)
+		}
+		b.WriteString(tb.Render())
+		b.WriteByte('\n')
+	}
+	b.WriteString("(fixed halos break strong scaling on slow fabrics; weak scaling holds while compute covers the wire)\n")
+	return b.String()
+}

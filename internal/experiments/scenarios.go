@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"archline/internal/machine"
+	"archline/internal/report"
+	"archline/internal/scenario"
+	"archline/internal/units"
+)
+
+// ScenariosResult bundles the section V-B, V-C, and V-D analyses that are
+// not standalone figures.
+type ScenariosResult struct {
+	// Streaming is section V-B's total energy-per-byte ranking.
+	Streaming []scenario.StreamCost
+	// ConstPower is section V-C's pi_1 analysis.
+	ConstPower *scenario.ConstantPowerStats
+	// Bounding is section V-D's Titan-at-140W vs 23-Arndale-GPUs study.
+	Bounding *scenario.PowerBoundResult
+	// Process is the technology-scaling signal in Table I's process
+	// column (an analysis beyond the paper's own).
+	Process *scenario.ProcessNodeStats
+}
+
+// Scenarios runs the three analyses.
+func Scenarios() (*ScenariosResult, error) {
+	platforms := machine.All()
+	cp, err := scenario.ConstantPowerAnalysis(platforms, 0.125, 512)
+	if err != nil {
+		return nil, err
+	}
+	titan := machine.MustByID(machine.GTXTitan).Single
+	mali := machine.MustByID(machine.ArndaleGPU).Single
+	budget := units.Power(float64(titan.PeakAvgPower()) / 2) // "140 W" (half of peak)
+	pb, err := scenario.PowerBound(titan, mali, budget, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := scenario.ProcessNodeAnalysis(platforms)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenariosResult{
+		Streaming:  scenario.StreamingEnergyRanking(platforms),
+		ConstPower: cp,
+		Bounding:   pb,
+		Process:    proc,
+	}, nil
+}
+
+// Render formats the three analyses.
+func (r *ScenariosResult) Render() string {
+	var b strings.Builder
+
+	b.WriteString("Section V-B: total energy to stream one byte (eps_mem + pi_1*tau charge)\n\n")
+	tb := &report.Table{Headers: []string{"platform", "eps_mem", "pi_1 charge", "total"}}
+	for _, s := range r.Streaming {
+		tb.AddRow(s.Name,
+			units.FormatEnergyPerByte(s.EpsMem),
+			units.FormatEnergyPerByte(s.ConstCharge),
+			units.FormatEnergyPerByte(s.Total))
+	}
+	b.WriteString(tb.Render())
+	b.WriteString("\n(the ranking by total inverts the raw eps_mem ranking: Arndale GPU < Titan < Phi)\n\n")
+
+	b.WriteString("Section V-C: constant power share pi_1/(pi_1+DeltaPi)\n\n")
+	tc := &report.Table{Headers: []string{"platform", "share", ">50%", "power range (max/min)"}}
+	for _, plat := range machine.ByPeakEfficiency() {
+		share := r.ConstPower.Shares[plat.ID]
+		over := ""
+		if share > 0.5 {
+			over = "yes"
+		}
+		tc.AddRow(plat.Name, fmt.Sprintf("%.0f%%", 100*share), over,
+			fmt.Sprintf("%.2fx", r.ConstPower.PowerRange[plat.ID]))
+	}
+	b.WriteString(tc.Render())
+	fmt.Fprintf(&b, "\nplatforms above 50%%: %d of 12 (paper: 7); correlation with peak Gflop/J: %.2f (paper: about -0.6)\n\n",
+		r.ConstPower.OverHalf, r.ConstPower.Correlation)
+
+	pb := r.Bounding
+	b.WriteString("Section V-D: power bounding at half a Titan node's power\n\n")
+	fmt.Fprintf(&b, "budget: %s -> Titan cap setting DeltaPi x %.3f (paper: 1/8)\n",
+		units.FormatPower(pb.Budget), pb.CapFrac)
+	fmt.Fprintf(&b, "throttled Titan at I=%s: %.2fx of unthrottled (paper: ~0.31x)\n",
+		units.FormatIntensity(pb.I), pb.BigPerfRatio)
+	fmt.Fprintf(&b, "Arndale GPUs matching the budget: %d (paper: 23)\n", pb.SmallCount)
+	fmt.Fprintf(&b, "assembly vs throttled Titan at I=%s: %.2fx (paper: ~2.8x)\n",
+		units.FormatIntensity(pb.I), pb.SmallVsBig)
+
+	if r.Process != nil {
+		b.WriteString("\nTechnology scaling latent in Table I (beyond the paper's analysis):\n")
+		fmt.Fprintf(&b, "Spearman(process nm, eps_s): %.2f over all %d platforms, %.2f over the %d CPUs\n",
+			r.Process.RhoAll, r.Process.N, r.Process.RhoCPU, r.Process.NCPU)
+		b.WriteString("(per-flop energy falls with process node, the Dennard-scaling signal)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"archline/internal/fit"
+	"archline/internal/machine"
+	"archline/internal/report"
+	"archline/internal/units"
+)
+
+// TableIRow compares one platform's fitted parameters against the
+// paper's published Table I values.
+type TableIRow struct {
+	Platform *machine.Platform
+	Fit      *fit.PlatformFit
+	// RelErrs maps parameter name to |fitted - reference| / reference.
+	RelErrs map[string]float64
+}
+
+// TableIResult is the Table I reproduction: the full fitting pipeline run
+// on every platform, compared against the published constants.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// TableI reproduces Table I: for each of the twelve platforms it runs the
+// microbenchmark suite on the simulated hardware, fits the six model
+// parameters (plus cache levels and random access where measured), and
+// reports fitted-vs-published values.
+func TableI(opts Options) (*TableIResult, error) {
+	rows, err := forEachPlatform(machine.All(), opts.Workers,
+		func(plat *machine.Platform) (TableIRow, error) {
+			return tableIRow(plat, opts)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &TableIResult{Rows: rows}, nil
+}
+
+// tableIRow runs the suite and fit for one platform.
+func tableIRow(plat *machine.Platform, opts Options) (TableIRow, error) {
+	suite, err := opts.runSuite(plat)
+	if err != nil {
+		return TableIRow{}, err
+	}
+	pf, err := fit.Platform(suite, fit.Options{Seed: opts.Seed})
+	if err != nil {
+		return TableIRow{}, fmt.Errorf("fitting: %w", err)
+	}
+	row := TableIRow{Platform: plat, Fit: pf, RelErrs: map[string]float64{}}
+	{
+		ref := plat.Single
+		add := func(name string, got, want float64) {
+			if want != 0 {
+				row.RelErrs[name] = math.Abs(got-want) / math.Abs(want)
+			}
+		}
+		add("tau_flop", float64(pf.Params.TauFlop), float64(ref.TauFlop))
+		add("tau_mem", float64(pf.Params.TauMem), float64(ref.TauMem))
+		add("eps_s", float64(pf.Params.EpsFlop), float64(ref.EpsFlop))
+		add("eps_mem", float64(pf.Params.EpsMem), float64(ref.EpsMem))
+		add("pi_1", float64(pf.Params.Pi1), float64(ref.Pi1))
+		add("delta_pi", float64(pf.Params.DeltaPi), float64(ref.DeltaPi))
+		if plat.SupportsDouble() {
+			add("eps_d", float64(pf.DoubleEps), float64(plat.DoubleEps))
+		}
+		if pf.L1 != nil && plat.L1 != nil {
+			add("eps_L1", float64(pf.L1.Eps), float64(plat.L1.Eps))
+		}
+		if pf.L2 != nil && plat.L2 != nil {
+			add("eps_L2", float64(pf.L2.Eps), float64(plat.L2.Eps))
+		}
+		if pf.Rand != nil && plat.Rand != nil {
+			add("eps_rand", float64(pf.Rand.Eps), float64(plat.Rand.Eps))
+		}
+	}
+	return row, nil
+}
+
+// MaxRelErr returns the worst relative error for a parameter across
+// quirk-free platforms (quirky platforms deviate by design, as the
+// paper's own fits do).
+func (r *TableIResult) MaxRelErr(param string) float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		if len(row.Platform.Quirks) > 0 {
+			continue
+		}
+		if e, ok := row.RelErrs[param]; ok && e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Render formats the reproduction as two tables: fitted constants in
+// Table I's units, and fitted-vs-published relative errors.
+func (r *TableIResult) Render() string {
+	var b strings.Builder
+
+	fitted := &report.Table{
+		Title: "Table I reproduction: fitted constants (published values in parentheses)",
+		Headers: []string{"platform", "pi_1 W", "dpi W", "eps_s pJ/F", "eps_d pJ/F",
+			"eps_mem pJ/B", "eps_L1 pJ/B", "eps_L2 pJ/B", "eps_rand nJ/acc"},
+	}
+	pj := func(v float64) string { return fmt.Sprintf("%.3g", v*1e12) }
+	nj := func(v float64) string { return fmt.Sprintf("%.3g", v*1e9) }
+	for _, row := range r.Rows {
+		p, f := row.Platform, row.Fit
+		cell := func(got, want float64, fmtv func(float64) string) string {
+			if want == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%s (%s)", fmtv(got), fmtv(want))
+		}
+		epsD := "-"
+		if p.SupportsDouble() {
+			epsD = cell(float64(f.DoubleEps), float64(p.DoubleEps), pj)
+		}
+		epsL1, epsL2, epsR := "-", "-", "-"
+		if f.L1 != nil && p.L1 != nil {
+			epsL1 = cell(float64(f.L1.Eps), float64(p.L1.Eps), pj)
+		}
+		if f.L2 != nil && p.L2 != nil {
+			epsL2 = cell(float64(f.L2.Eps), float64(p.L2.Eps), pj)
+		}
+		if f.Rand != nil && p.Rand != nil {
+			epsR = cell(float64(f.Rand.Eps), float64(p.Rand.Eps), nj)
+		}
+		fitted.AddRow(
+			p.Name,
+			fmt.Sprintf("%.3g (%.3g)", float64(f.Params.Pi1), float64(p.Single.Pi1)),
+			fmt.Sprintf("%.3g (%.3g)", float64(f.Params.DeltaPi), float64(p.Single.DeltaPi)),
+			cell(float64(f.Params.EpsFlop), float64(p.Single.EpsFlop), pj),
+			epsD,
+			cell(float64(f.Params.EpsMem), float64(p.Single.EpsMem), pj),
+			epsL1, epsL2, epsR,
+		)
+	}
+	b.WriteString(fitted.Render())
+	b.WriteByte('\n')
+
+	thr := &report.Table{
+		Title: "Sustained throughput recovered by the fit (published in parentheses)",
+		Headers: []string{"platform", "single", "mem bw", "rand",
+			"fit residual"},
+	}
+	for _, row := range r.Rows {
+		p, f := row.Platform, row.Fit
+		randCell := "-"
+		if f.Rand != nil && p.Rand != nil {
+			randCell = fmt.Sprintf("%s (%s)",
+				units.FormatAccessRate(f.Rand.Rate), units.FormatAccessRate(p.Rand.Rate))
+		}
+		thr.AddRow(
+			p.Name,
+			fmt.Sprintf("%s (%s)", units.FormatFlopRate(f.Params.PeakFlopRate()),
+				units.FormatFlopRate(p.Sustained.SingleRate)),
+			fmt.Sprintf("%s (%s)", units.FormatByteRate(f.Params.PeakByteRate()),
+				units.FormatByteRate(p.Sustained.MemBW)),
+			randCell,
+			fmt.Sprintf("%.4f", f.Residual),
+		)
+	}
+	b.WriteString(thr.Render())
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package fit
+
+import (
+	"testing"
+
+	"archline/internal/machine"
+	"archline/internal/microbench"
+)
+
+func TestBootstrapIntervalsCoverTruth(t *testing.T) {
+	res := runSuite(t, machine.GTXTitan, false)
+	br, err := Bootstrap(res, 30, 0.95, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.B != 30 || br.Level != 0.95 {
+		t.Error("metadata")
+	}
+	truth := machine.MustByID(machine.GTXTitan).Single
+	want := map[string]float64{
+		"tau_flop": float64(truth.TauFlop),
+		"tau_mem":  float64(truth.TauMem),
+		"pi_1":     float64(truth.Pi1),
+		"delta_pi": float64(truth.DeltaPi),
+	}
+	for name, v := range want {
+		iv, ok := br.Intervals[name]
+		if !ok {
+			t.Fatalf("missing interval for %s", name)
+		}
+		if iv.Lo > iv.Hi {
+			t.Errorf("%s: interval inverted [%v, %v]", name, iv.Lo, iv.Hi)
+		}
+		// A 95% interval padded by 5% of the point estimate should cover
+		// the true value (bootstrap noise on 30 replicates is coarse).
+		pad := 0.05 * iv.Point
+		if v < iv.Lo-pad || v > iv.Hi+pad {
+			t.Errorf("%s: truth %v outside [%v, %v]", name, v, iv.Lo, iv.Hi)
+		}
+		// Intervals should be informative: width well under the estimate.
+		if iv.Width() > 0.5*iv.Point {
+			t.Errorf("%s: interval too wide: %v vs point %v", name, iv.Width(), iv.Point)
+		}
+	}
+}
+
+func TestBootstrapIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 1, Point: 2, Hi: 3}
+	if iv.Width() != 2 {
+		t.Error("width")
+	}
+	if !iv.Contains(2) || iv.Contains(0) || iv.Contains(4) {
+		t.Error("contains")
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	res := runSuite(t, machine.GTXTitan, true)
+	if _, err := Bootstrap(res, 5, 0.95, Options{}); err == nil {
+		t.Error("too few replicates should error")
+	}
+	if _, err := Bootstrap(res, 20, 0, Options{}); err == nil {
+		t.Error("bad level should error")
+	}
+	if _, err := Bootstrap(res, 20, 1, Options{}); err == nil {
+		t.Error("bad level should error")
+	}
+	tiny := &microbench.Result{Platform: res.Platform, Measurements: res.Measurements[:3]}
+	if _, err := Bootstrap(tiny, 20, 0.95, Options{}); err == nil {
+		t.Error("insufficient data should error")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	res := runSuite(t, machine.ArndaleCPU, false)
+	a, err := Bootstrap(res, 12, 0.9, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bootstrap(res, 12, 0.9, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, iv := range a.Intervals {
+		if b.Intervals[name] != iv {
+			t.Fatalf("%s: bootstrap not deterministic per seed", name)
+		}
+	}
+}
+
+func TestBootstrapNoiselessIsTight(t *testing.T) {
+	// Noiseless measurements: resampling changes nothing material, so
+	// intervals collapse around the point estimate.
+	res := runSuite(t, machine.GTXTitan, true)
+	br, err := Bootstrap(res, 15, 0.95, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, iv := range br.Intervals {
+		if iv.Width() > 0.05*iv.Point {
+			t.Errorf("%s: noiseless interval should be tight, got width %v of point %v",
+				name, iv.Width(), iv.Point)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"archline/internal/microbench"
+	"archline/internal/model"
+	"archline/internal/sim"
+	"archline/internal/units"
+)
+
+// PlatformFit holds the recovered Table I parameters for one platform.
+type PlatformFit struct {
+	// Params are the fitted single-precision DRAM-level parameters:
+	// tau_flop, tau_mem, eps_flop (eps_s), eps_mem, pi_1, DeltaPi.
+	Params model.Params
+	// DoubleEps is the fitted eps_d (0 when double is unsupported).
+	DoubleEps units.EnergyPerFlop
+	// L1 and L2 are fitted per-level costs (nil when unmeasured).
+	L1 *model.LevelParams
+	L2 *model.LevelParams
+	// Rand is the fitted random-access mode (nil when unmeasured).
+	Rand *model.RandomAccessParams
+	// Residual is the RMS log-residual of the DRAM fit over time and
+	// power, a goodness-of-fit summary.
+	Residual float64
+}
+
+// observation is one fitting data point.
+type observation struct {
+	w, q, t, p float64 // flops, bytes, seconds, average watts
+}
+
+// sustainedTaus extracts tau_flop and tau_mem from the sweep the way the
+// paper's dedicated peak microbenchmarks do: tau_flop is the reciprocal
+// of the best observed flop rate (reached at the compute-bound end of
+// the sweep) and tau_mem of the best observed bandwidth (the
+// memory-bound end). These are "sustained peaks": on a platform whose
+// cap binds even at the sweep extremes (e.g. the NUC CPU's streaming,
+// where pi_mem slightly exceeds DeltaPi), the true tau is not observable
+// and the sustained value is what any measurement study would report.
+func sustainedTaus(obs []observation) (tauF, tauM float64) {
+	bestFlop, bestBW := 0.0, 0.0
+	for _, o := range obs {
+		if r := o.w / o.t; r > bestFlop {
+			bestFlop = r
+		}
+		if r := o.q / o.t; r > bestBW {
+			bestBW = r
+		}
+	}
+	return 1 / bestFlop, 1 / bestBW
+}
+
+// dramObjective builds the nonlinear least-squares objective over the
+// intensity sweep: squared log-residuals of predicted vs measured time
+// and average power. The taus are pinned from the sustained peaks;
+// the free parameters, optimized in log space to enforce positivity, are
+// [eps_f, eps_m, pi_1, delta_pi].
+//
+// A one-sided regularizer keeps delta_pi from escaping upward: the data
+// bound it from below (too small a cap would throttle regions the
+// measurements show unthrottled) but on platforms whose cap binds only
+// in a narrow intensity band (Xeon Phi) nothing bounds it from above, so
+// we softly forbid pi_1 + delta_pi from exceeding the largest observed
+// average power, maxP.
+func dramObjective(obs []observation, tauF, tauM, maxP float64) Objective {
+	const dpiReg = 0.01
+	return func(logx []float64) float64 {
+		p := paramsFromLog(tauF, tauM, logx)
+		loss := 0.0
+		if cap := maxP - float64(p.Pi1); cap > 0 {
+			if d := logx[3] - math.Log(cap); d > 0 {
+				loss += dpiReg * d * d
+			}
+		}
+		for _, o := range obs {
+			that := float64(p.Time(units.Flops(o.w), units.Bytes(o.q)))
+			ehat := float64(p.Energy(units.Flops(o.w), units.Bytes(o.q)))
+			if that <= 0 || ehat <= 0 || math.IsInf(that, 0) {
+				return math.Inf(1)
+			}
+			phat := ehat / that
+			lt := math.Log(that / o.t)
+			lp := math.Log(phat / o.p)
+			loss += lt*lt + lp*lp
+		}
+		return loss
+	}
+}
+
+// paramsFromLog decodes the log-space free-parameter vector
+// [eps_f, eps_m, pi_1, delta_pi] around pinned taus.
+func paramsFromLog(tauF, tauM float64, logx []float64) model.Params {
+	return model.Params{
+		TauFlop: units.TimePerFlop(tauF),
+		TauMem:  units.TimePerByte(tauM),
+		EpsFlop: units.EnergyPerFlop(math.Exp(logx[0])),
+		EpsMem:  units.EnergyPerByte(math.Exp(logx[1])),
+		Pi1:     units.Power(math.Exp(logx[2])),
+		DeltaPi: units.Power(math.Exp(logx[3])),
+	}
+}
+
+// initialGuess derives a starting point for the free parameters from the
+// data itself: the extreme-intensity points pin the epsilons, the idle
+// measurement pins pi_1, and the largest observed dynamic power pins
+// DeltaPi.
+func initialGuess(obs []observation, idle float64) ([]float64, error) {
+	if len(obs) < 6 {
+		return nil, errors.New("fit: need at least 6 sweep observations")
+	}
+	lo, hi := obs[0], obs[0]
+	loI := obs[0].w / obs[0].q
+	hiI := loI
+	maxDyn := 0.0
+	for _, o := range obs[1:] {
+		i := o.w / o.q
+		if i < loI {
+			lo, loI = o, i
+		}
+		if i > hiI {
+			hi, hiI = o, i
+		}
+		if dyn := o.p - idle; dyn > maxDyn {
+			maxDyn = dyn
+		}
+	}
+	if idle <= 0 {
+		idle = 0.5 * lo.p
+	}
+	if maxDyn <= 0 {
+		maxDyn = 0.1 * idle
+	}
+	epsF := math.Max((hi.p-idle)*hi.t/hi.w, 1e-18)
+	epsM := math.Max((lo.p-idle)*lo.t/lo.q, 1e-18)
+	guess := []float64{epsF, epsM, idle, maxDyn}
+	logx := make([]float64, len(guess))
+	for i, g := range guess {
+		if g <= 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+			return nil, fmt.Errorf("fit: degenerate initial guess component %d = %v", i, g)
+		}
+		logx[i] = math.Log(g)
+	}
+	return logx, nil
+}
+
+// Options tune the platform fit.
+type Options struct {
+	// Restarts is the number of multi-start perturbations. Default 8.
+	Restarts int
+	// Spread is the multi-start perturbation scale. Default 0.15.
+	Spread float64
+	// Seed drives the multi-start perturbations.
+	Seed uint64
+	// NM overrides the optimizer options.
+	NM NMOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Restarts == 0 {
+		o.Restarts = 8
+	}
+	if o.Spread == 0 {
+		o.Spread = 0.15
+	}
+	if o.NM.MaxIter == 0 {
+		o.NM.MaxIter = 4000
+	}
+	return o
+}
+
+// Platform runs the full fitting pipeline on a suite result: the joint
+// six-parameter DRAM fit, then the per-cache-level fits with the
+// flop-side parameters frozen, then the double-precision flop energy and
+// the random-access mode.
+func Platform(res *microbench.Result, opts Options) (*PlatformFit, error) {
+	opts = opts.withDefaults()
+	sweep := res.Sweep(sim.Single)
+	obs := toObservations(sweep)
+	if len(obs) < 6 {
+		return nil, errors.New("fit: insufficient single-precision sweep data")
+	}
+	x0, err := initialGuess(obs, float64(res.IdlePower))
+	if err != nil {
+		return nil, err
+	}
+	tauF, tauM := sustainedTaus(obs)
+	maxP := 0.0
+	for _, o := range obs {
+		if o.p > maxP {
+			maxP = o.p
+		}
+	}
+	best, err := MultiStart(dramObjective(obs, tauF, tauM, maxP), x0,
+		opts.Restarts, opts.Spread, opts.Seed, opts.NM)
+	if err != nil {
+		return nil, err
+	}
+	out := &PlatformFit{
+		Params:   paramsFromLog(tauF, tauM, best.X),
+		Residual: math.Sqrt(best.F / float64(2*len(obs))),
+	}
+
+	// Double precision: refit the flop side only on the DP sweep.
+	if dp := toObservations(res.Sweep(sim.Double)); len(dp) >= 6 {
+		de, err := fitFlopSide(dp, out.Params, opts)
+		if err == nil {
+			out.DoubleEps = de
+		}
+	}
+
+	// Cache levels: freeze flop side and powers, fit (tau, eps) per level.
+	for _, lv := range []struct {
+		level model.MemLevel
+		dst   **model.LevelParams
+	}{
+		{model.LevelL1, &out.L1},
+		{model.LevelL2, &out.L2},
+	} {
+		ms := res.ByLevel(lv.level)
+		if len(ms) < 2 {
+			continue
+		}
+		lp, err := fitLevel(toObservations(ms), out.Params, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fit: level %v: %w", lv.level, err)
+		}
+		*lv.dst = lp
+	}
+
+	// Random access: closed-form from the chase measurements.
+	if chase := res.Chase(); len(chase) > 0 {
+		r, err := fitChase(chase, out.Params, res.Platform.CacheLine)
+		if err != nil {
+			return nil, err
+		}
+		out.Rand = r
+	}
+	return out, nil
+}
+
+// toObservations converts measurements, skipping degenerate rows.
+func toObservations(ms []sim.Measurement) []observation {
+	var obs []observation
+	for _, m := range ms {
+		o := observation{
+			w: float64(m.W), q: float64(m.Q),
+			t: float64(m.Time), p: float64(m.AvgPower),
+		}
+		if o.q <= 0 || o.t <= 0 || o.p <= 0 {
+			continue
+		}
+		obs = append(obs, o)
+	}
+	return obs
+}
+
+// fitFlopSide recovers eps_flop (and implicitly tau_flop) on an alternate
+// precision, holding the memory side and powers fixed.
+func fitFlopSide(obs []observation, base model.Params, opts Options) (units.EnergyPerFlop, error) {
+	// tau_flop for the alternate precision comes from the most
+	// compute-bound observation.
+	hi := obs[0]
+	hiI := hi.w / hi.q
+	for _, o := range obs[1:] {
+		if i := o.w / o.q; i > hiI {
+			hi, hiI = o, i
+		}
+	}
+	tauF := hi.t / hi.w
+	obj := func(logx []float64) float64 {
+		p := base
+		p.TauFlop = units.TimePerFlop(tauF)
+		p.EpsFlop = units.EnergyPerFlop(math.Exp(logx[0]))
+		loss := 0.0
+		for _, o := range obs {
+			that := float64(p.Time(units.Flops(o.w), units.Bytes(o.q)))
+			ehat := float64(p.Energy(units.Flops(o.w), units.Bytes(o.q)))
+			if that <= 0 || ehat <= 0 {
+				return math.Inf(1)
+			}
+			lp := math.Log(ehat / that / o.p)
+			lt := math.Log(that / o.t)
+			loss += lp*lp + lt*lt
+		}
+		return loss
+	}
+	start := math.Log(math.Max((hi.p-float64(base.Pi1))*hi.t/hi.w, 1e-18))
+	best, err := MultiStart(obj, []float64{start}, opts.Restarts, opts.Spread, opts.Seed+1, opts.NM)
+	if err != nil {
+		return 0, err
+	}
+	return units.EnergyPerFlop(math.Exp(best.X[0])), nil
+}
+
+// fitLevel recovers a cache level's (tau, eps): tau is pinned from the
+// level's best observed (sustained) bandwidth and eps fitted by
+// regression with everything else frozen.
+func fitLevel(obs []observation, base model.Params, opts Options) (*model.LevelParams, error) {
+	if len(obs) < 2 {
+		return nil, errors.New("fit: need at least 2 level observations")
+	}
+	bestBW := 0.0
+	for _, o := range obs {
+		if r := o.q / o.t; r > bestBW {
+			bestBW = r
+		}
+	}
+	if bestBW <= 0 {
+		return nil, errors.New("fit: level observations carry no bandwidth")
+	}
+	tau := 1 / bestBW
+	obj := func(logx []float64) float64 {
+		p := base
+		p.TauMem = units.TimePerByte(tau)
+		p.EpsMem = units.EnergyPerByte(math.Exp(logx[0]))
+		loss := 0.0
+		for _, o := range obs {
+			that := float64(p.Time(units.Flops(o.w), units.Bytes(o.q)))
+			ehat := float64(p.Energy(units.Flops(o.w), units.Bytes(o.q)))
+			if that <= 0 || ehat <= 0 {
+				return math.Inf(1)
+			}
+			lt := math.Log(that / o.t)
+			lp := math.Log(ehat / that / o.p)
+			loss += lt*lt + lp*lp
+		}
+		return loss
+	}
+	// Start from the most memory-bound observation.
+	lo := obs[0]
+	loI := lo.w / lo.q
+	for _, o := range obs[1:] {
+		if i := o.w / o.q; i < loI {
+			lo, loI = o, i
+		}
+	}
+	eps0 := math.Max((lo.p-float64(base.Pi1))*lo.t/lo.q, 1e-18)
+	best, err := MultiStart(obj, []float64{math.Log(eps0)},
+		opts.Restarts, opts.Spread, opts.Seed+2, opts.NM)
+	if err != nil {
+		return nil, err
+	}
+	return &model.LevelParams{
+		Tau: units.TimePerByte(tau),
+		Eps: units.EnergyPerByte(math.Exp(best.X[0])),
+	}, nil
+}
+
+// fitChase recovers the random-access mode in closed form: the sustained
+// rate is accesses/time and the inclusive per-access energy is the
+// dynamic energy divided by the access count.
+func fitChase(ms []sim.Measurement, base model.Params, line units.Bytes) (*model.RandomAccessParams, error) {
+	var rateSum, epsSum float64
+	n := 0
+	for _, m := range ms {
+		if m.Accesses <= 0 || m.Time <= 0 {
+			continue
+		}
+		rateSum += float64(m.Accesses) / float64(m.Time)
+		dyn := float64(m.Energy) - float64(base.Pi1)*float64(m.Time)
+		epsSum += dyn / float64(m.Accesses)
+		n++
+	}
+	if n == 0 {
+		return nil, errors.New("fit: no usable chase measurements")
+	}
+	eps := epsSum / float64(n)
+	if eps < 0 {
+		eps = 0
+	}
+	return &model.RandomAccessParams{
+		Rate: units.AccessRate(rateSum / float64(n)),
+		Eps:  units.EnergyPerAccess(eps),
+		Line: line,
+	}, nil
+}
+
+// CacheLineSize recovers a platform's effective cache-line size from a
+// pair of bandwidth measurements, the standard lab method: a unit-stride
+// streaming run moves only useful bytes, while a large-stride run moves
+// one full line per useful word, so
+//
+//	line = word * (useful streaming BW / useful strided BW)
+//
+// Both measurements must be taken from the same memory level. The result
+// is rounded to the nearest power of two, as real line sizes are.
+func CacheLineSize(streamUsefulBW, stridedUsefulBW, wordBytes float64) (int, error) {
+	if streamUsefulBW <= 0 || stridedUsefulBW <= 0 || wordBytes <= 0 {
+		return 0, errors.New("fit: bandwidths and word size must be positive")
+	}
+	if stridedUsefulBW > streamUsefulBW {
+		return 0, errors.New("fit: strided bandwidth exceeds streaming bandwidth")
+	}
+	raw := wordBytes * streamUsefulBW / stridedUsefulBW
+	line := 1
+	for float64(line) < raw/math.Sqrt2 {
+		line *= 2
+	}
+	if line < int(wordBytes) {
+		line = int(wordBytes)
+	}
+	return line, nil
+}

@@ -1,0 +1,116 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// LeastSquares solves the overdetermined linear system min ||A x - b||_2
+// by Householder QR factorization. A is row-major with m rows and n
+// columns (m >= n); it must have full column rank.
+func LeastSquares(a [][]float64, b []float64) ([]float64, error) {
+	m := len(a)
+	if m == 0 {
+		return nil, errors.New("fit: empty system")
+	}
+	n := len(a[0])
+	if n == 0 || m < n {
+		return nil, errors.New("fit: system must have at least as many rows as columns")
+	}
+	if len(b) != m {
+		return nil, errors.New("fit: right-hand side length mismatch")
+	}
+	// Work on copies.
+	r := make([][]float64, m)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, errors.New("fit: ragged matrix")
+		}
+		r[i] = append([]float64(nil), a[i]...)
+	}
+	y := append([]float64(nil), b...)
+
+	// Frobenius norm sets the scale for the rank-deficiency test.
+	frob := 0.0
+	for i := range r {
+		for _, v := range r[i] {
+			frob += v * v
+		}
+	}
+	rankTol := 1e-12 * math.Sqrt(frob)
+
+	// Householder QR: for each column k, reflect to zero below diagonal.
+	for k := 0; k < n; k++ {
+		// Norm of the column below (and including) the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm += r[i][k] * r[i][k]
+		}
+		norm = math.Sqrt(norm)
+		if norm <= rankTol {
+			return nil, errors.New("fit: rank-deficient system")
+		}
+		if r[k][k] > 0 {
+			norm = -norm
+		}
+		// v = x - norm*e1 (stored in place), beta = 2/(v'v).
+		v := make([]float64, m-k)
+		v[0] = r[k][k] - norm
+		for i := k + 1; i < m; i++ {
+			v[i-k] = r[i][k]
+		}
+		vtv := 0.0
+		for _, vi := range v {
+			vtv += vi * vi
+		}
+		if vtv == 0 {
+			continue
+		}
+		beta := 2 / vtv
+		// Apply H = I - beta v v' to remaining columns of R and to y.
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r[i][j]
+			}
+			dot *= beta
+			for i := k; i < m; i++ {
+				r[i][j] -= dot * v[i-k]
+			}
+		}
+		dot := 0.0
+		for i := k; i < m; i++ {
+			dot += v[i-k] * y[i]
+		}
+		dot *= beta
+		for i := k; i < m; i++ {
+			y[i] -= dot * v[i-k]
+		}
+	}
+	// Back-substitution on the upper-triangular R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= r[i][j] * x[j]
+		}
+		if r[i][i] == 0 {
+			return nil, errors.New("fit: singular upper triangle")
+		}
+		x[i] = s / r[i][i]
+	}
+	return x, nil
+}
+
+// Residual returns ||A x - b||_2 for a candidate solution.
+func Residual(a [][]float64, b, x []float64) float64 {
+	s := 0.0
+	for i := range a {
+		r := -b[i]
+		for j := range x {
+			r += a[i][j] * x[j]
+		}
+		s += r * r
+	}
+	return math.Sqrt(s)
+}

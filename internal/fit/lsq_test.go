@@ -1,0 +1,132 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"archline/internal/stats"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square well-conditioned system.
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Errorf("x = %v, want (1,3)", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2 + 3t to noiseless points: exact recovery.
+	var a [][]float64
+	var b []float64
+	for i := 0; i < 10; i++ {
+		ti := float64(i)
+		a = append(a, []float64{1, ti})
+		b = append(b, 2+3*ti)
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Errorf("x = %v, want (2,3)", x)
+	}
+	if r := Residual(a, b, x); r > 1e-9 {
+		t.Errorf("residual %v", r)
+	}
+}
+
+func TestLeastSquaresMinimizesResidual(t *testing.T) {
+	// Noisy overdetermined fit: the QR solution should beat nearby
+	// perturbations.
+	rng := stats.NewStream(5, "lsq")
+	var a [][]float64
+	var b []float64
+	for i := 0; i < 50; i++ {
+		ti := float64(i) / 10
+		a = append(a, []float64{1, ti, ti * ti})
+		b = append(b, 1+0.5*ti-0.2*ti*ti+0.01*rng.NormFloat64())
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := Residual(a, b, x)
+	for trial := 0; trial < 20; trial++ {
+		xp := append([]float64(nil), x...)
+		for j := range xp {
+			xp[j] += 0.01 * rng.NormFloat64()
+		}
+		if Residual(a, b, xp) < r0-1e-12 {
+			t.Fatalf("perturbation beats QR solution: %v < %v", Residual(a, b, xp), r0)
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty system should error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system should error")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Error("rhs length mismatch should error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	// Rank-deficient: two identical columns.
+	a := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Error("rank-deficient system should error")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{}); err == nil {
+		t.Error("zero-column system should error")
+	}
+}
+
+// Property: for random full-rank systems with a known solution and no
+// noise, LeastSquares recovers it.
+func TestQuickLeastSquaresRecovery(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewStream(seed, "quick-lsq")
+		n := 2 + rng.Intn(4)
+		m := n + 2 + rng.Intn(6)
+		xTrue := make([]float64, n)
+		for j := range xTrue {
+			xTrue[j] = rng.Gaussian(0, 3)
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			s := 0.0
+			for j := range a[i] {
+				a[i][j] = rng.Gaussian(0, 1)
+				s += a[i][j] * xTrue[j]
+			}
+			b[i] = s
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return true // singular draw: fine
+		}
+		for j := range x {
+			if math.Abs(x[j]-xTrue[j]) > 1e-6*(1+math.Abs(xTrue[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	res, err := NelderMead(f, []float64{0, 0}, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-4 || math.Abs(res.X[1]+1) > 1e-4 {
+		t.Errorf("minimum at %v, want (3,-1)", res.X)
+	}
+	if res.F > 1e-8 {
+		t.Errorf("objective %v, want ~0", res.F)
+	}
+	if res.Iters <= 0 {
+		t.Error("iterations should be counted")
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := NelderMead(f, []float64{-1.2, 1}, NMOptions{MaxIter: 10000, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Errorf("Rosenbrock minimum at %v, want (1,1)", res.X)
+	}
+}
+
+func TestNelderMeadPiecewiseKink(t *testing.T) {
+	// max-of-linear objective, like the capped model's time: NM must cope
+	// with non-smooth points.
+	f := func(x []float64) float64 {
+		return math.Max(math.Abs(x[0]-2), 0.5*math.Abs(x[0]-2)+1e-3) + math.Abs(x[1])
+	}
+	res, err := NelderMead(f, []float64{10, -7}, NMOptions{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-2 || math.Abs(res.X[1]) > 1e-2 {
+		t.Errorf("kinked minimum at %v, want (2,0)", res.X)
+	}
+}
+
+func TestNelderMeadHandlesNaN(t *testing.T) {
+	// Objective returning NaN off-domain must not break the search.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	res, err := NelderMead(f, []float64{5}, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 {
+		t.Errorf("minimum at %v, want 2", res.X)
+	}
+}
+
+func TestNelderMeadErrors(t *testing.T) {
+	if _, err := NelderMead(nil, []float64{0}, NMOptions{}); err == nil {
+		t.Error("nil objective should error")
+	}
+	if _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NMOptions{}); err == nil {
+		t.Error("empty start should error")
+	}
+}
+
+func TestNelderMeadZeroCoordinateStep(t *testing.T) {
+	// A zero starting coordinate still gets a nonzero simplex step.
+	f := func(x []float64) float64 { return (x[0] - 1) * (x[0] - 1) }
+	res, err := NelderMead(f, []float64{0}, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 {
+		t.Errorf("minimum at %v, want 1", res.X)
+	}
+}
+
+func TestMultiStartEscapesLocalMinimum(t *testing.T) {
+	// Double well: local minimum at x=-1 (f=0.5), global at x=2 (f=0).
+	f := func(x []float64) float64 {
+		a := (x[0] + 1) * (x[0] + 1) * ((x[0]-2)*(x[0]-2) + 0.0)
+		return a + 0.5*math.Exp(-(x[0]-(-1))*(x[0]-(-1))*4)*0 +
+			0.5/(1+(x[0]-(-1))*(x[0]-(-1))*100)
+	}
+	// Start near the local minimum; multi-start with wide spread should
+	// find the global one at x=2.
+	res, err := MultiStart(f, []float64{-1}, 30, 2.0, 42, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 0.05 {
+		t.Errorf("global minimum at %v, want 2", res.X)
+	}
+}
+
+func TestMultiStartZeroStart(t *testing.T) {
+	f := func(x []float64) float64 { return x[0]*x[0] + (x[1]-1)*(x[1]-1) }
+	res, err := MultiStart(f, []float64{0, 0}, 5, 0.3, 7, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-6 {
+		t.Errorf("objective %v", res.F)
+	}
+}
+
+func TestMultiStartPropagatesErrors(t *testing.T) {
+	if _, err := MultiStart(nil, []float64{0}, 3, 0.1, 1, NMOptions{}); err == nil {
+		t.Error("nil objective should error")
+	}
+}

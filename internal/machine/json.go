@@ -1,0 +1,189 @@
+package machine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"archline/internal/model"
+	"archline/internal/units"
+)
+
+// platformJSON is the on-disk platform description, in Table I's own
+// units (Gflop/s, GB/s, pJ/flop, pJ/B, nJ/access, W) so a user can
+// transcribe a datasheet or their own measurements directly.
+type platformJSON struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Processor string `json:"processor"`
+	Microarch string `json:"microarch,omitempty"`
+	ProcessNM int    `json:"process_nm,omitempty"`
+	Class     string `json:"class"`
+	IsGPU     bool   `json:"is_gpu,omitempty"`
+
+	VendorSingleGflops float64 `json:"vendor_single_gflops"`
+	VendorDoubleGflops float64 `json:"vendor_double_gflops,omitempty"`
+	VendorMemGBs       float64 `json:"vendor_mem_gbs"`
+
+	IdleW float64 `json:"idle_w"`
+
+	SustainedSingleGflops float64 `json:"sustained_single_gflops"`
+	SustainedDoubleGflops float64 `json:"sustained_double_gflops,omitempty"`
+	SustainedMemGBs       float64 `json:"sustained_mem_gbs"`
+
+	EpsSPJ    float64 `json:"eps_s_pj_per_flop"`
+	EpsDPJ    float64 `json:"eps_d_pj_per_flop,omitempty"`
+	EpsMemPJ  float64 `json:"eps_mem_pj_per_byte"`
+	Pi1W      float64 `json:"pi1_w"`
+	DeltaPiW  float64 `json:"delta_pi_w"`
+	CacheLine int     `json:"cache_line_bytes"`
+
+	L1 *levelJSON `json:"l1,omitempty"`
+	L2 *levelJSON `json:"l2,omitempty"`
+
+	RandEpsNJ   float64 `json:"eps_rand_nj_per_access,omitempty"`
+	RandMaccs   float64 `json:"rand_macc_per_s,omitempty"`
+	L1SizeBytes int64   `json:"l1_size_bytes,omitempty"`
+	L2SizeBytes int64   `json:"l2_size_bytes,omitempty"`
+}
+
+type levelJSON struct {
+	EpsPJ float64 `json:"eps_pj_per_byte"`
+	BWGBs float64 `json:"bw_gbs"`
+}
+
+// classNames maps the JSON class field.
+var classNames = map[string]Class{
+	"desktop":     ClassDesktop,
+	"mini":        ClassMini,
+	"mobile":      ClassMobile,
+	"coprocessor": ClassCoprocessor,
+}
+
+// FromJSON decodes a platform description. It validates the resulting
+// model parameters, so a malformed datasheet fails loudly.
+func FromJSON(r io.Reader) (*Platform, error) {
+	var pj platformJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pj); err != nil {
+		return nil, fmt.Errorf("machine: decoding platform: %w", err)
+	}
+	if pj.ID == "" || pj.Name == "" {
+		return nil, errors.New("machine: platform needs id and name")
+	}
+	class, ok := classNames[pj.Class]
+	if !ok {
+		return nil, fmt.Errorf("machine: unknown class %q (want desktop|mini|mobile|coprocessor)", pj.Class)
+	}
+	if pj.CacheLine <= 0 {
+		return nil, errors.New("machine: cache_line_bytes must be positive")
+	}
+	p := &Platform{
+		ID:        ID(pj.ID),
+		Name:      pj.Name,
+		Processor: pj.Processor,
+		Microarch: pj.Microarch,
+		ProcessNM: pj.ProcessNM,
+		Class:     class,
+		IsGPU:     pj.IsGPU,
+		Vendor: VendorPeak{
+			Single: units.GFlopPerSec(pj.VendorSingleGflops),
+			Double: units.GFlopPerSec(pj.VendorDoubleGflops),
+			MemBW:  units.GBPerSec(pj.VendorMemGBs),
+		},
+		IdlePower: units.Power(pj.IdleW),
+		Single: model.Params{
+			TauFlop: units.GFlopPerSec(pj.SustainedSingleGflops).Inverse(),
+			TauMem:  units.GBPerSec(pj.SustainedMemGBs).Inverse(),
+			EpsFlop: units.PicoJoulePerFlop(pj.EpsSPJ),
+			EpsMem:  units.PicoJoulePerByte(pj.EpsMemPJ),
+			Pi1:     units.Power(pj.Pi1W),
+			DeltaPi: units.Power(pj.DeltaPiW),
+		},
+		DoubleEps: units.PicoJoulePerFlop(pj.EpsDPJ),
+		Sustained: Sustained{
+			SingleRate: units.GFlopPerSec(pj.SustainedSingleGflops),
+			DoubleRate: units.GFlopPerSec(pj.SustainedDoubleGflops),
+			MemBW:      units.GBPerSec(pj.SustainedMemGBs),
+		},
+		CacheLine: units.Bytes(pj.CacheLine),
+		L1Size:    units.Bytes(pj.L1SizeBytes),
+		L2Size:    units.Bytes(pj.L2SizeBytes),
+	}
+	if pj.L1 != nil {
+		p.L1 = level(pj.L1.EpsPJ, pj.L1.BWGBs)
+		p.Sustained.L1BW = units.GBPerSec(pj.L1.BWGBs)
+	}
+	if pj.L2 != nil {
+		p.L2 = level(pj.L2.EpsPJ, pj.L2.BWGBs)
+		p.Sustained.L2BW = units.GBPerSec(pj.L2.BWGBs)
+	}
+	if pj.RandMaccs > 0 {
+		p.Rand = random(pj.RandEpsNJ, pj.RandMaccs, float64(p.CacheLine))
+		p.Sustained.RandRate = units.MAccPerSec(pj.RandMaccs)
+	}
+	if err := p.Single.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: %s: %w", p.Name, err)
+	}
+	if err := p.Hierarchy().Validate(); err != nil {
+		return nil, fmt.Errorf("machine: %s: %w", p.Name, err)
+	}
+	return p, nil
+}
+
+// ToJSON encodes a platform in the same format FromJSON reads.
+func ToJSON(w io.Writer, p *Platform) error {
+	if p == nil {
+		return errors.New("machine: nil platform")
+	}
+	className := ""
+	for name, c := range classNames {
+		if c == p.Class {
+			className = name
+		}
+	}
+	pj := platformJSON{
+		ID:        string(p.ID),
+		Name:      p.Name,
+		Processor: p.Processor,
+		Microarch: p.Microarch,
+		ProcessNM: p.ProcessNM,
+		Class:     className,
+		IsGPU:     p.IsGPU,
+
+		VendorSingleGflops: float64(p.Vendor.Single) / 1e9,
+		VendorDoubleGflops: float64(p.Vendor.Double) / 1e9,
+		VendorMemGBs:       float64(p.Vendor.MemBW) / 1e9,
+
+		IdleW: float64(p.IdlePower),
+
+		SustainedSingleGflops: float64(p.Sustained.SingleRate) / 1e9,
+		SustainedDoubleGflops: float64(p.Sustained.DoubleRate) / 1e9,
+		SustainedMemGBs:       float64(p.Sustained.MemBW) / 1e9,
+
+		EpsSPJ:    float64(p.Single.EpsFlop) * 1e12,
+		EpsDPJ:    float64(p.DoubleEps) * 1e12,
+		EpsMemPJ:  float64(p.Single.EpsMem) * 1e12,
+		Pi1W:      float64(p.Single.Pi1),
+		DeltaPiW:  float64(p.Single.DeltaPi),
+		CacheLine: int(p.CacheLine),
+
+		L1SizeBytes: int64(p.L1Size),
+		L2SizeBytes: int64(p.L2Size),
+	}
+	if p.L1 != nil {
+		pj.L1 = &levelJSON{EpsPJ: float64(p.L1.Eps) * 1e12, BWGBs: 1e-9 / float64(p.L1.Tau)}
+	}
+	if p.L2 != nil {
+		pj.L2 = &levelJSON{EpsPJ: float64(p.L2.Eps) * 1e12, BWGBs: 1e-9 / float64(p.L2.Tau)}
+	}
+	if p.Rand != nil {
+		pj.RandEpsNJ = float64(p.Rand.Eps) * 1e9
+		pj.RandMaccs = float64(p.Rand.Rate) / 1e6
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pj)
+}

@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripAllPlatforms(t *testing.T) {
+	for _, p := range All() {
+		var buf bytes.Buffer
+		if err := ToJSON(&buf, p); err != nil {
+			t.Fatalf("%s: encode: %v", p.Name, err)
+		}
+		back, err := FromJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", p.Name, err)
+		}
+		if back.ID != p.ID || back.Name != p.Name || back.Class != p.Class || back.IsGPU != p.IsGPU {
+			t.Errorf("%s: identity fields changed", p.Name)
+		}
+		rel := func(a, b float64) float64 {
+			if b == 0 {
+				return math.Abs(a)
+			}
+			return math.Abs(a-b) / math.Abs(b)
+		}
+		if rel(float64(back.Single.TauFlop), float64(p.Single.TauFlop)) > 1e-9 {
+			t.Errorf("%s: tau_flop changed", p.Name)
+		}
+		if rel(float64(back.Single.EpsMem), float64(p.Single.EpsMem)) > 1e-9 {
+			t.Errorf("%s: eps_mem changed", p.Name)
+		}
+		if rel(float64(back.Single.Pi1), float64(p.Single.Pi1)) > 1e-9 {
+			t.Errorf("%s: pi_1 changed", p.Name)
+		}
+		if (back.L1 == nil) != (p.L1 == nil) || (back.L2 == nil) != (p.L2 == nil) ||
+			(back.Rand == nil) != (p.Rand == nil) {
+			t.Errorf("%s: optional sections changed", p.Name)
+		}
+		if p.Rand != nil && rel(float64(back.Rand.Eps), float64(p.Rand.Eps)) > 1e-9 {
+			t.Errorf("%s: eps_rand changed", p.Name)
+		}
+		if back.SupportsDouble() != p.SupportsDouble() {
+			t.Errorf("%s: double support changed", p.Name)
+		}
+	}
+}
+
+func TestFromJSONCustomPlatform(t *testing.T) {
+	src := `{
+		"id": "my-accelerator",
+		"name": "My Accelerator",
+		"processor": "ACME X1",
+		"class": "coprocessor",
+		"is_gpu": true,
+		"vendor_single_gflops": 8000,
+		"vendor_mem_gbs": 400,
+		"idle_w": 60,
+		"sustained_single_gflops": 7200,
+		"sustained_mem_gbs": 350,
+		"eps_s_pj_per_flop": 20,
+		"eps_mem_pj_per_byte": 200,
+		"pi1_w": 80,
+		"delta_pi_w": 150,
+		"cache_line_bytes": 128,
+		"l1": {"eps_pj_per_byte": 15, "bw_gbs": 2000},
+		"l2": {"eps_pj_per_byte": 120, "bw_gbs": 500},
+		"eps_rand_nj_per_access": 30,
+		"rand_macc_per_s": 1200,
+		"l1_size_bytes": 65536,
+		"l2_size_bytes": 2097152
+	}`
+	p, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "My Accelerator" || !p.IsGPU {
+		t.Error("identity fields")
+	}
+	if math.Abs(float64(p.Single.PeakFlopRate())-7.2e12) > 1e6 {
+		t.Errorf("peak rate %v", p.Single.PeakFlopRate())
+	}
+	// The custom machine works with the whole model stack.
+	if p.Single.AvgPowerAt(4) <= 0 {
+		t.Error("model evaluation failed")
+	}
+	if p.Rand == nil || float64(p.Rand.Line) != 128 {
+		t.Error("random access section")
+	}
+	if p.SupportsDouble() {
+		t.Error("no eps_d given: double unsupported")
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       `{`,
+		"unknown field": `{"id":"x","name":"y","class":"mini","bogus":1}`,
+		"missing id":    `{"name":"y","class":"mini"}`,
+		"bad class":     `{"id":"x","name":"y","class":"quantum","cache_line_bytes":64}`,
+		"no line": `{"id":"x","name":"y","class":"mini",
+			"sustained_single_gflops":10,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1}`,
+		"zero rate": `{"id":"x","name":"y","class":"mini","cache_line_bytes":64,
+			"sustained_single_gflops":0,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1}`,
+		"l1 above l2": `{"id":"x","name":"y","class":"mini","cache_line_bytes":64,
+			"sustained_single_gflops":10,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1,
+			"l1":{"eps_pj_per_byte":100,"bw_gbs":100},
+			"l2":{"eps_pj_per_byte":50,"bw_gbs":50}}`,
+	}
+	for name, src := range cases {
+		if _, err := FromJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: should error", name)
+		}
+	}
+	if err := ToJSON(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil platform should error")
+	}
+}

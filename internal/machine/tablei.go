@@ -1,0 +1,324 @@
+package machine
+
+import (
+	"archline/internal/model"
+	"archline/internal/units"
+)
+
+// level builds a per-level cost entry from Table I's units: pJ/B and GB/s.
+func level(epsPJ, bwGBs float64) *model.LevelParams {
+	return &model.LevelParams{
+		Tau: units.GBPerSec(bwGBs).Inverse(),
+		Eps: units.PicoJoulePerByte(epsPJ),
+	}
+}
+
+// random builds a pointer-chase entry from Table I's units: nJ/access and
+// Macc/s, with the platform's cache-line size.
+func random(epsNJ, maccs, line float64) *model.RandomAccessParams {
+	return &model.RandomAccessParams{
+		Rate: units.MAccPerSec(maccs),
+		Eps:  units.NanoJoulePerAccess(epsNJ),
+		Line: units.Bytes(line),
+	}
+}
+
+// fitted assembles the single-precision model parameters from Table I's
+// units: sustained Gflop/s and GB/s for the taus, pJ/flop and pJ/B for
+// the epsilons, watts for pi_1 and DeltaPi.
+func fitted(gflops, gbs, epsS, epsMem, pi1, deltaPi float64) model.Params {
+	return model.Params{
+		TauFlop: units.GFlopPerSec(gflops).Inverse(),
+		TauMem:  units.GBPerSec(gbs).Inverse(),
+		EpsFlop: units.PicoJoulePerFlop(epsS),
+		EpsMem:  units.PicoJoulePerByte(epsMem),
+		Pi1:     units.Power(pi1),
+		DeltaPi: units.Power(deltaPi),
+	}
+}
+
+// tableI builds the twelve Table I rows. Every number below is
+// transcribed from the paper: columns 3-5 are vendor peaks, column 6 is
+// fitted pi_1 with observed idle power, column 7 is DeltaPi, columns 8-13
+// are fitted energies with sustained throughputs in parentheses.
+// Fig4Rank and KSSignificant come from fig. 4; the paper-reported peak
+// efficiencies come from fig. 5's panel headers. L1/L2 capacities and
+// line sizes are vendor datasheet values (the paper sizes working sets
+// the same way without tabulating them).
+func tableI() []*Platform {
+	return []*Platform{
+		{
+			ID: DesktopCPU, Name: "Desktop CPU", Processor: "Intel Core i7-950",
+			Microarch: "Nehalem", ProcessNM: 45, Class: ClassDesktop,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(107), Double: units.GFlopPerSec(53.3),
+				MemBW: units.GBPerSec(25.6),
+			},
+			IdlePower: 79.9,
+			Single:    fitted(99.4, 19.1, 371, 795, 122, 44.2),
+			DoubleEps: units.PicoJoulePerFlop(670),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(99.4), DoubleRate: units.GFlopPerSec(49.7),
+				MemBW: units.GBPerSec(19.1), L1BW: units.GBPerSec(201),
+				L2BW: units.GBPerSec(120), RandRate: units.MAccPerSec(149),
+			},
+			L1: level(135, 201), L2: level(168, 120),
+			Rand:      random(108, 149, 64),
+			CacheLine: 64, L1Size: units.KiB(32), L2Size: units.KiB(256),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 620e6, PeakBytesPerJoule: 140e6,
+				KSSignificant: false, Fig4Rank: 9,
+			},
+		},
+		{
+			ID: NUCCPU, Name: "NUC CPU", Processor: "Intel Core i3-3217U",
+			Microarch: "Ivy Bridge", ProcessNM: 22, Class: ClassMini,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(57.6), Double: units.GFlopPerSec(28.8),
+				MemBW: units.GBPerSec(25.6),
+			},
+			IdlePower: 13.2,
+			Single:    fitted(55.6, 17.9, 14.7, 418, 16.5, 7.37),
+			DoubleEps: units.PicoJoulePerFlop(24.3),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(55.6), DoubleRate: units.GFlopPerSec(27.9),
+				MemBW: units.GBPerSec(17.9), L1BW: units.GBPerSec(201),
+				L2BW: units.GBPerSec(103), RandRate: units.MAccPerSec(55.3),
+			},
+			L1: level(8.75, 201), L2: level(14.3, 103),
+			Rand:      random(54.6, 55.3, 64),
+			CacheLine: 64, L1Size: units.KiB(32), L2Size: units.KiB(256),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 3.2e9, PeakBytesPerJoule: 750e6,
+				KSSignificant: false, Fig4Rank: 10,
+			},
+		},
+		{
+			ID: NUCGPU, Name: "NUC GPU", Processor: "Intel HD 4000",
+			Microarch: "Ivy Bridge", ProcessNM: 22, Class: ClassMini, IsGPU: true,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(269), MemBW: units.GBPerSec(25.6),
+			},
+			IdlePower: 13.2, FittedPi1BelowIdle: true,
+			Single: fitted(268, 15.4, 76.1, 837, 10.1, 17.7),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(268),
+				MemBW:      units.GBPerSec(15.4),
+			},
+			CacheLine: 64, L1Size: units.KiB(32), L2Size: units.KiB(256),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 8.8e9, PeakBytesPerJoule: 670e6,
+				KSSignificant: true, Fig4Rank: 2,
+			},
+			Quirks: []Quirk{QuirkOSInterference},
+		},
+		{
+			ID: APUCPU, Name: "APU CPU", Processor: "AMD E2-1800",
+			Microarch: "Bobcat", ProcessNM: 40, Class: ClassMini,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(13.6), Double: units.GFlopPerSec(5.10),
+				MemBW: units.GBPerSec(10.7),
+			},
+			IdlePower: 11.8,
+			Single:    fitted(13.4, 3.32, 33.5, 435, 20.1, 1.39),
+			DoubleEps: units.PicoJoulePerFlop(119),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(13.4), DoubleRate: units.GFlopPerSec(5.05),
+				MemBW: units.GBPerSec(3.32), L1BW: units.GBPerSec(25.8),
+				L2BW: units.GBPerSec(11.6), RandRate: units.MAccPerSec(8.03),
+			},
+			L1: level(84.0, 25.8), L2: level(138, 11.6),
+			Rand:      random(75.6, 8.03, 64),
+			CacheLine: 64, L1Size: units.KiB(32), L2Size: units.KiB(512),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 650e6, PeakBytesPerJoule: 150e6,
+				KSSignificant: false, Fig4Rank: 12,
+			},
+		},
+		{
+			ID: APUGPU, Name: "APU GPU", Processor: "AMD HD 7340",
+			Microarch: "Zacate", ProcessNM: 40, Class: ClassMini, IsGPU: true,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(109), MemBW: units.GBPerSec(10.7),
+			},
+			IdlePower: 11.8,
+			Single:    fitted(104, 8.70, 5.82, 333, 15.6, 3.23),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(104),
+				MemBW:      units.GBPerSec(8.70),
+				L1BW:       units.GBPerSec(46.0),
+				RandRate:   units.MAccPerSec(115),
+			},
+			L1:        level(6.47, 46.0), // software-managed scratchpad
+			Rand:      random(45.8, 115, 64),
+			CacheLine: 64, L1Size: units.KiB(32), L2Size: units.KiB(512),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 6.4e9, PeakBytesPerJoule: 470e6,
+				KSSignificant: true, Fig4Rank: 11,
+			},
+		},
+		{
+			ID: GTX580, Name: "GTX 580", Processor: "NVIDIA GF100",
+			Microarch: "Fermi", ProcessNM: 40, Class: ClassCoprocessor, IsGPU: true,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(1580), Double: units.GFlopPerSec(198),
+				MemBW: units.GBPerSec(192),
+			},
+			IdlePower: 148, FittedPi1BelowIdle: true,
+			Single:    fitted(1400, 171, 99.7, 513, 122, 146),
+			DoubleEps: units.PicoJoulePerFlop(213),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(1400), DoubleRate: units.GFlopPerSec(196),
+				MemBW: units.GBPerSec(171), L1BW: units.GBPerSec(761),
+				L2BW: units.GBPerSec(284), RandRate: units.MAccPerSec(977),
+			},
+			L1: level(149, 761), L2: level(257, 284),
+			Rand:      random(112, 977, 128),
+			CacheLine: 128, L1Size: units.KiB(48), L2Size: units.KiB(768),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 5.3e9, PeakBytesPerJoule: 810e6,
+				KSSignificant: false, Fig4Rank: 7,
+			},
+		},
+		{
+			ID: GTX680, Name: "GTX 680", Processor: "NVIDIA GK104",
+			Microarch: "Kepler", ProcessNM: 28, Class: ClassCoprocessor, IsGPU: true,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(3530), Double: units.GFlopPerSec(147),
+				MemBW: units.GBPerSec(192),
+			},
+			IdlePower: 100, FittedPi1BelowIdle: true,
+			Single:    fitted(3030, 158, 43.2, 437, 66.4, 145),
+			DoubleEps: units.PicoJoulePerFlop(263),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(3030), DoubleRate: units.GFlopPerSec(147),
+				MemBW: units.GBPerSec(158), L1BW: units.GBPerSec(1150),
+				L2BW: units.GBPerSec(297), RandRate: units.MAccPerSec(1420),
+			},
+			L1:        level(51, 1150), // shared memory: Kepler L1 does not cache loads
+			L2:        level(195, 297),
+			Rand:      random(184, 1420, 128),
+			CacheLine: 128, L1Size: units.KiB(48), L2Size: units.KiB(512),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 15e9, PeakBytesPerJoule: 1.2e9,
+				KSSignificant: true, Fig4Rank: 4,
+			},
+		},
+		{
+			ID: GTXTitan, Name: "GTX Titan", Processor: "NVIDIA GK110",
+			Microarch: "Kepler", ProcessNM: 28, Class: ClassCoprocessor, IsGPU: true,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(4990), Double: units.GFlopPerSec(1660),
+				MemBW: units.GBPerSec(288),
+			},
+			IdlePower: 72.9,
+			Single:    fitted(4020, 239, 30.4, 267, 123, 164),
+			DoubleEps: units.PicoJoulePerFlop(93.9),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(4020), DoubleRate: units.GFlopPerSec(1600),
+				MemBW: units.GBPerSec(239), L1BW: units.GBPerSec(1610),
+				L2BW: units.GBPerSec(297), RandRate: units.MAccPerSec(968),
+			},
+			L1:        level(24.4, 1610), // shared memory
+			L2:        level(195, 297),
+			Rand:      random(48.0, 968, 128),
+			CacheLine: 128, L1Size: units.KiB(48), L2Size: units.MiB(1.5),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 16e9, PeakBytesPerJoule: 1.3e9,
+				KSSignificant: false, Fig4Rank: 6,
+			},
+		},
+		{
+			ID: XeonPhi, Name: "Xeon Phi", Processor: "Intel 5110P",
+			Microarch: "KNC", ProcessNM: 22, Class: ClassCoprocessor,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(2020), Double: units.GFlopPerSec(1010),
+				MemBW: units.GBPerSec(320),
+			},
+			IdlePower: 90,
+			Single:    fitted(2020, 181, 6.05, 136, 180, 36.1),
+			DoubleEps: units.PicoJoulePerFlop(12.4),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(2020), DoubleRate: units.GFlopPerSec(1010),
+				MemBW: units.GBPerSec(181), L1BW: units.GBPerSec(2890),
+				L2BW: units.GBPerSec(591), RandRate: units.MAccPerSec(706),
+			},
+			L1: level(2.19, 2890), L2: level(8.65, 591),
+			Rand:      random(5.11, 706, 64),
+			CacheLine: 64, L1Size: units.KiB(32), L2Size: units.KiB(512),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 11e9, PeakBytesPerJoule: 880e6,
+				KSSignificant: true, Fig4Rank: 8,
+			},
+		},
+		{
+			ID: PandaBoard, Name: "PandaBoard ES", Processor: "TI OMAP4460",
+			Microarch: "Cortex-A9", ProcessNM: 45, Class: ClassMobile,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(9.60), Double: units.GFlopPerSec(3.60),
+				MemBW: units.GBPerSec(3.20),
+			},
+			IdlePower: 2.74,
+			Single:    fitted(9.47, 1.28, 37.2, 810, 3.48, 1.19),
+			DoubleEps: units.PicoJoulePerFlop(302),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(9.47), DoubleRate: units.GFlopPerSec(3.02),
+				MemBW: units.GBPerSec(1.28), L1BW: units.GBPerSec(18.4),
+				L2BW: units.GBPerSec(4.12), RandRate: units.MAccPerSec(12.1),
+			},
+			L1: level(79.5, 18.4), L2: level(134, 4.12),
+			Rand:      random(60.9, 12.1, 32),
+			CacheLine: 32, L1Size: units.KiB(32), L2Size: units.MiB(1),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 2.5e9, PeakBytesPerJoule: 280e6,
+				KSSignificant: true, Fig4Rank: 5,
+			},
+		},
+		{
+			ID: ArndaleCPU, Name: "Arndale CPU", Processor: "Samsung Exynos 5",
+			Microarch: "Cortex-A15", ProcessNM: 32, Class: ClassMobile,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(27.2), Double: units.GFlopPerSec(6.80),
+				MemBW: units.GBPerSec(12.8),
+			},
+			IdlePower: 1.72,
+			Single:    fitted(15.8, 3.94, 107, 386, 5.50, 2.01),
+			DoubleEps: units.PicoJoulePerFlop(275),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(15.8), DoubleRate: units.GFlopPerSec(3.97),
+				MemBW: units.GBPerSec(3.94), L1BW: units.GBPerSec(50.8),
+				L2BW: units.GBPerSec(15.2), RandRate: units.MAccPerSec(14.8),
+			},
+			L1: level(76.3, 50.8), L2: level(248, 15.2),
+			Rand:      random(138, 14.8, 64),
+			CacheLine: 64, L1Size: units.KiB(32), L2Size: units.MiB(1),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 2.2e9, PeakBytesPerJoule: 560e6,
+				KSSignificant: true, Fig4Rank: 3,
+			},
+		},
+		{
+			ID: ArndaleGPU, Name: "Arndale GPU", Processor: "Samsung Exynos 5",
+			Microarch: "Mali T-604", ProcessNM: 32, Class: ClassMobile, IsGPU: true,
+			Vendor: VendorPeak{
+				Single: units.GFlopPerSec(72.0), MemBW: units.GBPerSec(12.8),
+			},
+			IdlePower: 1.72, FittedPi1BelowIdle: true,
+			Single: fitted(33.0, 8.39, 84.2, 518, 1.28, 4.83),
+			Sustained: Sustained{
+				SingleRate: units.GFlopPerSec(33.0),
+				MemBW:      units.GBPerSec(8.39),
+				L1BW:       units.GBPerSec(33.4),
+				RandRate:   units.MAccPerSec(33.6),
+			},
+			L1:        level(71.4, 33.4), // software-managed scratchpad
+			Rand:      random(125, 33.6, 64),
+			CacheLine: 64, L1Size: units.KiB(16), L2Size: units.KiB(128),
+			Paper: PaperReported{
+				PeakFlopsPerJoule: 8.1e9, PeakBytesPerJoule: 1.5e9,
+				KSSignificant: true, Fig4Rank: 1,
+			},
+			Quirks: []Quirk{QuirkUtilizationScaling},
+		},
+	}
+}

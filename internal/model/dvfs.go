@@ -1,0 +1,189 @@
+package model
+
+import (
+	"errors"
+	"math"
+
+	"archline/internal/units"
+)
+
+// This file extends the capped model with dynamic voltage/frequency
+// scaling (DVFS), the mechanism the power-bounding literature the paper
+// builds on (Rountree et al., "Beyond DVFS") assumes. The paper models a
+// power cap as throttling operation issue; DVFS instead slows the clock
+// and lowers voltage together. The two compose: a DVFS state rescales
+// the machine's fundamental constants, and the capped model then applies
+// at the rescaled operating point.
+//
+// Scaling laws (standard CMOS first-order):
+//
+//   - frequency f scales throughput: tau(f) = tau(f0) * f0/f for the
+//     processor side; memory bandwidth scales only partially (the DRAM
+//     interface has its own clock), controlled by MemScaling in [0,1];
+//   - dynamic energy per operation scales with V^2, and V scales roughly
+//     linearly with f over the DVFS range: eps(f) = eps(f0) * (V/V0)^2;
+//   - constant power has a frequency-independent component (uncore,
+//     board, leakage at fixed temperature) and a clock-tree component
+//     that scales like f*V^2.
+type DVFS struct {
+	// Base is the machine at the reference frequency F0.
+	Base Params
+	// F0 is the reference (nominal) frequency in Hz.
+	F0 float64
+	// FMin and FMax bound the legal frequency range.
+	FMin, FMax float64
+	// V0 is the supply voltage at F0; VMin is the voltage floor reached
+	// at (and below) FVmin. Between FVmin and F0 voltage interpolates
+	// linearly with frequency.
+	V0, VMin float64
+	// FVmin is the frequency at/below which voltage stops dropping.
+	FVmin float64
+	// MemScaling in [0,1] is the fraction of memory bandwidth that
+	// follows the core clock (0: independent memory clock; 1: fully
+	// coupled, as on integrated SoCs).
+	MemScaling float64
+	// Pi1FreqShare in [0,1] is the fraction of pi_1 that scales with
+	// f*V^2 (clock tree, caches); the rest is frequency-independent.
+	Pi1FreqShare float64
+}
+
+// Validate checks the DVFS configuration.
+func (d DVFS) Validate() error {
+	if err := d.Base.Validate(); err != nil {
+		return err
+	}
+	if d.F0 <= 0 || d.FMin <= 0 || d.FMax < d.FMin {
+		return errors.New("model: DVFS frequency range invalid")
+	}
+	if d.F0 < d.FMin || d.F0 > d.FMax {
+		return errors.New("model: DVFS reference frequency outside range")
+	}
+	if d.V0 <= 0 || d.VMin <= 0 || d.VMin > d.V0 {
+		return errors.New("model: DVFS voltage range invalid")
+	}
+	if d.FVmin <= 0 || d.FVmin > d.F0 {
+		return errors.New("model: DVFS voltage-floor frequency invalid")
+	}
+	if d.MemScaling < 0 || d.MemScaling > 1 {
+		return errors.New("model: MemScaling must be in [0,1]")
+	}
+	if d.Pi1FreqShare < 0 || d.Pi1FreqShare > 1 {
+		return errors.New("model: Pi1FreqShare must be in [0,1]")
+	}
+	return nil
+}
+
+// Voltage returns the supply voltage at frequency f: linear in f above
+// the floor, clamped to VMin below it.
+func (d DVFS) Voltage(f float64) float64 {
+	if f <= d.FVmin {
+		return d.VMin
+	}
+	if f >= d.F0 {
+		// Extrapolate linearly above nominal (turbo voltages rise).
+		return d.V0 + (d.V0-d.VMin)*(f-d.F0)/(d.F0-d.FVmin)
+	}
+	frac := (f - d.FVmin) / (d.F0 - d.FVmin)
+	return d.VMin + frac*(d.V0-d.VMin)
+}
+
+// AtFrequency returns the machine's capped-model parameters at frequency
+// f, applying the scaling laws above. DeltaPi is preserved: the cap is
+// an external budget, not a property of the operating point.
+func (d DVFS) AtFrequency(f float64) (Params, error) {
+	if err := d.Validate(); err != nil {
+		return Params{}, err
+	}
+	if f < d.FMin || f > d.FMax {
+		return Params{}, errors.New("model: frequency outside DVFS range")
+	}
+	v := d.Voltage(f)
+	vr := v / d.V0
+	fr := f / d.F0
+
+	p := d.Base
+	// Processor throughput follows the clock.
+	p.TauFlop = units.TimePerFlop(float64(d.Base.TauFlop) / fr)
+	// Memory bandwidth follows only partially.
+	memRate := 1/float64(d.Base.TauMem)*(1-d.MemScaling) +
+		1/float64(d.Base.TauMem)*d.MemScaling*fr
+	p.TauMem = units.TimePerByte(1 / memRate)
+	// Dynamic energy per op scales with V^2 (CV^2 switching energy).
+	p.EpsFlop = units.EnergyPerFlop(float64(d.Base.EpsFlop) * vr * vr)
+	p.EpsMem = units.EnergyPerByte(float64(d.Base.EpsMem) * (1 - d.MemScaling + d.MemScaling*vr*vr))
+	// Constant power: fixed share + clock-tree share scaling as f*V^2.
+	fixed := float64(d.Base.Pi1) * (1 - d.Pi1FreqShare)
+	clocked := float64(d.Base.Pi1) * d.Pi1FreqShare * fr * vr * vr
+	p.Pi1 = units.Power(fixed + clocked)
+	return p, nil
+}
+
+// EnergyOptimalFrequency finds, for a workload at intensity i, the
+// frequency in [FMin, FMax] minimizing energy per flop, by golden-section
+// search (E(f) at fixed I is unimodal under these scaling laws: too slow
+// burns constant power, too fast burns V^2 dynamic energy).
+func (d DVFS) EnergyOptimalFrequency(i units.Intensity) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if i <= 0 {
+		return 0, errors.New("model: intensity must be positive")
+	}
+	e := func(f float64) float64 {
+		p, err := d.AtFrequency(f)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return float64(p.EnergyPerFlopAt(i))
+	}
+	const phi = 0.6180339887498949
+	lo, hi := d.FMin, d.FMax
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := e(x1), e(x2)
+	for iter := 0; iter < 200 && hi-lo > 1e-6*d.F0; iter++ {
+		if f1 < f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = e(x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = e(x2)
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// RaceToHaltGain compares "race" (run at FMax, then idle at pi_idle for
+// the remaining time) against "crawl" (run at the slowest frequency that
+// still finishes within the race-plus-idle window) for a workload of w
+// flops at intensity i over a deadline equal to the crawl duration.
+// It returns energyRace/energyCrawl: values above 1 mean crawling wins.
+func (d DVFS) RaceToHaltGain(w units.Flops, i units.Intensity, piIdle units.Power) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if w <= 0 || i <= 0 {
+		return 0, errors.New("model: work and intensity must be positive")
+	}
+	fast, err := d.AtFrequency(d.FMax)
+	if err != nil {
+		return 0, err
+	}
+	slow, err := d.AtFrequency(d.FMin)
+	if err != nil {
+		return 0, err
+	}
+	q := i.Bytes(w)
+	tFast := fast.Time(w, q)
+	eFast := fast.Energy(w, q)
+	tSlow := slow.Time(w, q)
+	eSlow := slow.Energy(w, q)
+	if tSlow < tFast {
+		return 0, errors.New("model: slow point is not slower; check scaling")
+	}
+	// Race finishes early and idles until the crawl deadline.
+	eRace := float64(eFast) + float64(piIdle)*float64(tSlow-tFast)
+	return eRace / float64(eSlow), nil
+}

@@ -1,0 +1,313 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"archline/internal/units"
+)
+
+// titanDVFS builds a plausible DVFS envelope around the Titan's
+// published operating point (837 MHz core, ~1.16 V class).
+func titanDVFS() DVFS {
+	return DVFS{
+		Base:         titanParams(),
+		F0:           837e6,
+		FMin:         324e6,
+		FMax:         993e6,
+		V0:           1.162,
+		VMin:         0.875,
+		FVmin:        540e6,
+		MemScaling:   0, // discrete GDDR5: memory clock independent
+		Pi1FreqShare: 0.35,
+	}
+}
+
+// socDVFS builds a mobile-SoC-style envelope (shared clock domain) for
+// the Arndale CPU.
+func socDVFS() DVFS {
+	return DVFS{
+		Base:         arndaleGPUParams(),
+		F0:           1.7e9,
+		FMin:         200e6,
+		FMax:         1.7e9,
+		V0:           1.2,
+		VMin:         0.9,
+		FVmin:        800e6,
+		MemScaling:   0.5,
+		Pi1FreqShare: 0.5,
+	}
+}
+
+func TestDVFSValidate(t *testing.T) {
+	if err := titanDVFS().Validate(); err != nil {
+		t.Fatalf("valid DVFS rejected: %v", err)
+	}
+	cases := []func(*DVFS){
+		func(d *DVFS) { d.F0 = 0 },
+		func(d *DVFS) { d.FMin = 0 },
+		func(d *DVFS) { d.FMax = d.FMin / 2 },
+		func(d *DVFS) { d.F0 = d.FMax * 2 },
+		func(d *DVFS) { d.V0 = 0 },
+		func(d *DVFS) { d.VMin = d.V0 * 2 },
+		func(d *DVFS) { d.FVmin = 0 },
+		func(d *DVFS) { d.FVmin = d.F0 * 2 },
+		func(d *DVFS) { d.MemScaling = 1.5 },
+		func(d *DVFS) { d.Pi1FreqShare = -0.1 },
+		func(d *DVFS) { d.Base.TauFlop = 0 },
+	}
+	for i, mutate := range cases {
+		d := titanDVFS()
+		mutate(&d)
+		if d.Validate() == nil {
+			t.Errorf("case %d: invalid DVFS accepted", i)
+		}
+	}
+}
+
+func TestDVFSVoltageCurve(t *testing.T) {
+	d := titanDVFS()
+	if v := d.Voltage(d.FVmin / 2); v != d.VMin {
+		t.Errorf("below floor: %v, want VMin", v)
+	}
+	if v := d.Voltage(d.FVmin); v != d.VMin {
+		t.Errorf("at floor: %v, want VMin", v)
+	}
+	if v := d.Voltage(d.F0); math.Abs(v-d.V0) > 1e-12 {
+		t.Errorf("at nominal: %v, want V0", v)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for f := d.FMin; f <= d.FMax; f += 10e6 {
+		v := d.Voltage(f)
+		if v < prev {
+			t.Fatalf("voltage decreased at %v Hz", f)
+		}
+		prev = v
+	}
+	// Turbo extrapolation exceeds V0.
+	if d.Voltage(d.FMax) <= d.V0 {
+		t.Error("turbo voltage should exceed nominal")
+	}
+}
+
+func TestDVFSAtNominalIsIdentityExceptPi1(t *testing.T) {
+	d := titanDVFS()
+	p, err := d.AtFrequency(d.F0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(p.TauFlop), float64(d.Base.TauFlop), 1e-12, "tau_flop at F0")
+	approx(t, float64(p.TauMem), float64(d.Base.TauMem), 1e-12, "tau_mem at F0")
+	approx(t, float64(p.EpsFlop), float64(d.Base.EpsFlop), 1e-12, "eps_flop at F0")
+	approx(t, float64(p.EpsMem), float64(d.Base.EpsMem), 1e-12, "eps_mem at F0")
+	approx(t, float64(p.Pi1), float64(d.Base.Pi1), 1e-12, "pi_1 at F0")
+	approx(t, float64(p.DeltaPi), float64(d.Base.DeltaPi), 0, "cap preserved")
+}
+
+func TestDVFSScalingDirections(t *testing.T) {
+	d := titanDVFS()
+	slow, err := d.AtFrequency(d.FMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slower clock: lower peak flops, cheaper flops (V^2), lower pi_1.
+	if slow.PeakFlopRate() >= d.Base.PeakFlopRate() {
+		t.Error("downclocking should reduce peak flops")
+	}
+	if slow.EpsFlop >= d.Base.EpsFlop {
+		t.Error("downvolting should reduce energy per flop")
+	}
+	if slow.Pi1 >= d.Base.Pi1 {
+		t.Error("downclocking should reduce pi_1")
+	}
+	// Discrete GPU: memory bandwidth unchanged (MemScaling = 0).
+	approx(t, float64(slow.TauMem), float64(d.Base.TauMem), 1e-12, "GDDR bw at FMin")
+	approx(t, float64(slow.EpsMem), float64(d.Base.EpsMem), 1e-12, "GDDR eps at FMin")
+
+	// SoC: memory partially follows the clock.
+	soc := socDVFS()
+	socSlow, err := soc.AtFrequency(soc.FMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if socSlow.PeakByteRate() >= soc.Base.PeakByteRate() {
+		t.Error("SoC downclocking should reduce bandwidth")
+	}
+	if socSlow.EpsMem >= soc.Base.EpsMem {
+		t.Error("SoC downvolting should reduce memory energy")
+	}
+	// Expected ratio: at FMin, half the bandwidth followed a clock at
+	// fr = FMin/F0.
+	fr := soc.FMin / soc.F0
+	wantRate := float64(soc.Base.PeakByteRate()) * (0.5 + 0.5*fr)
+	approx(t, float64(socSlow.PeakByteRate()), wantRate, 1e-9, "SoC bw scaling")
+}
+
+func TestDVFSOutOfRange(t *testing.T) {
+	d := titanDVFS()
+	if _, err := d.AtFrequency(d.FMin / 2); err == nil {
+		t.Error("below-range frequency should error")
+	}
+	if _, err := d.AtFrequency(d.FMax * 2); err == nil {
+		t.Error("above-range frequency should error")
+	}
+	bad := d
+	bad.V0 = 0
+	if _, err := bad.AtFrequency(d.F0); err == nil {
+		t.Error("invalid config should error from AtFrequency")
+	}
+	if _, err := bad.EnergyOptimalFrequency(1); err == nil {
+		t.Error("invalid config should error from EnergyOptimalFrequency")
+	}
+	if _, err := d.EnergyOptimalFrequency(0); err == nil {
+		t.Error("zero intensity should error")
+	}
+	if _, err := bad.RaceToHaltGain(1e9, 1, 10); err == nil {
+		t.Error("invalid config should error from RaceToHaltGain")
+	}
+	if _, err := d.RaceToHaltGain(0, 1, 10); err == nil {
+		t.Error("zero work should error")
+	}
+}
+
+func TestEnergyOptimalFrequency(t *testing.T) {
+	d := titanDVFS()
+	// Compute-bound workload: the optimum balances pi_1*t against V^2.
+	fOpt, err := d.EnergyOptimalFrequency(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fOpt < d.FMin || fOpt > d.FMax {
+		t.Fatalf("optimal frequency %v outside range", fOpt)
+	}
+	// The optimum beats (or ties) both endpoints.
+	eAt := func(f float64) float64 {
+		p, err := d.AtFrequency(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(p.EnergyPerFlopAt(512))
+	}
+	eOpt := eAt(fOpt)
+	if eOpt > eAt(d.FMin)*(1+1e-9) || eOpt > eAt(d.FMax)*(1+1e-9) {
+		t.Errorf("optimum %v worse than an endpoint (%v, %v)", eOpt, eAt(d.FMin), eAt(d.FMax))
+	}
+	// Memory-bound workload on a discrete GPU: bandwidth does not scale,
+	// so the energy-optimal core clock is at (or near) the bottom —
+	// downclocking only sheds power.
+	fMem, err := d.EnergyOptimalFrequency(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fMem > d.FMin*1.2 {
+		t.Errorf("memory-bound optimum %v should sit near FMin %v", fMem, d.FMin)
+	}
+}
+
+func TestRaceToHaltGain(t *testing.T) {
+	// Without turbo (FMax = F0) the Titan races uncapped: with a deep
+	// idle state (5 W), race-to-halt wins for compute-bound work.
+	d := titanDVFS()
+	d.FMax = d.F0
+	w := units.GFlops(100)
+	gain, err := d.RaceToHaltGain(w, 512, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain >= 1 {
+		t.Errorf("deep idle should favour race-to-halt, gain %v", gain)
+	}
+	// With idle power equal to full pi_1 (no idle savings), crawling at
+	// lower voltage wins: gain > 1.
+	gain, err = d.RaceToHaltGain(w, 512, d.Base.Pi1+units.Power(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain <= 1 {
+		t.Errorf("no idle savings should favour crawling, gain %v", gain)
+	}
+}
+
+func TestRaceToHaltCapInteraction(t *testing.T) {
+	// With turbo enabled, racing pushes the Titan's flop power past
+	// DeltaPi: the cap throttles the race, and even a deep idle state no
+	// longer makes racing worthwhile. This is the capped model talking:
+	// a power cap erodes race-to-halt.
+	d := titanDVFS()
+	w := units.GFlops(100)
+	turbo, err := d.AtFrequency(d.FMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if turbo.Powerful() {
+		t.Fatal("premise: turbo Titan should be power-capped")
+	}
+	gain, err := d.RaceToHaltGain(w, 512, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTurbo := d
+	noTurbo.FMax = d.F0
+	gainNoTurbo, err := noTurbo.RaceToHaltGain(w, 512, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain <= gainNoTurbo {
+		t.Errorf("racing into the cap (gain %v) should look worse than racing uncapped (gain %v)",
+			gain, gainNoTurbo)
+	}
+}
+
+// Property: AtFrequency always yields valid params inside the range.
+func TestQuickDVFSValidity(t *testing.T) {
+	d := titanDVFS()
+	f := func(x float64) bool {
+		frac := math.Abs(math.Mod(x, 1))
+		if math.IsNaN(frac) {
+			return true
+		}
+		freq := d.FMin + frac*(d.FMax-d.FMin)
+		p, err := d.AtFrequency(freq)
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy per flop at fixed intensity is minimized at the
+// reported optimal frequency (spot-check against a grid).
+func TestQuickEnergyOptimal(t *testing.T) {
+	d := socDVFS()
+	f := func(ix float64) bool {
+		i := units.Intensity(math.Exp(finMod(ix, 5)))
+		fOpt, err := d.EnergyOptimalFrequency(i)
+		if err != nil {
+			return false
+		}
+		pOpt, err := d.AtFrequency(fOpt)
+		if err != nil {
+			return false
+		}
+		eOpt := float64(pOpt.EnergyPerFlopAt(i))
+		for k := 0; k <= 10; k++ {
+			fk := d.FMin + float64(k)/10*(d.FMax-d.FMin)
+			p, err := d.AtFrequency(fk)
+			if err != nil {
+				return false
+			}
+			if float64(p.EnergyPerFlopAt(i)) < eOpt*(1-1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"archline/internal/units"
+)
+
+// MemLevel identifies a memory-hierarchy level (or access mode) for which
+// the extended model carries separate time and energy costs — the
+// eps_L1/eps_L2/eps_rand columns of Table I.
+type MemLevel int
+
+// The access levels/modes the paper measures.
+const (
+	LevelDRAM MemLevel = iota // streaming from main memory (eps_mem)
+	LevelL1                   // L1 cache (or GPU shared memory/scratchpad)
+	LevelL2                   // L2 cache
+	LevelRand                 // random (pointer-chase) main-memory access
+)
+
+// String names the level as Table I's column headers do.
+func (l MemLevel) String() string {
+	switch l {
+	case LevelDRAM:
+		return "DRAM"
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelRand:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// LevelParams are the per-level throughput and energy costs. For
+// LevelRand the "byte" costs are expressed per access via the cache-line
+// size carried by the Hierarchy.
+type LevelParams struct {
+	Tau units.TimePerByte   // seconds per byte at this level's peak
+	Eps units.EnergyPerByte // inclusive energy per byte at this level
+}
+
+// Hierarchy extends Params with per-level memory costs. The key modelling
+// principle (section V-B) is that every cost is *inclusive*: eps_L2
+// includes the L1 traffic incurred on the way up, and eps_mem includes
+// the whole path from DRAM cells to registers, so levels compose by
+// simple addition of per-level traffic.
+type Hierarchy struct {
+	Params
+	Levels map[MemLevel]LevelParams
+}
+
+// LevelTraffic is the byte volume an algorithm moves at one level.
+type LevelTraffic struct {
+	Level MemLevel
+	Bytes units.Bytes
+}
+
+// ErrUnknownLevel reports traffic attributed to a level the hierarchy has
+// no parameters for.
+var ErrUnknownLevel = errors.New("model: no parameters for memory level")
+
+// ParamsFor returns a flat Params in which the memory costs are those of
+// the requested level — the model used when a microbenchmark's working
+// set is sized to fit in that level. LevelDRAM returns the base
+// parameters.
+func (h Hierarchy) ParamsFor(level MemLevel) (Params, error) {
+	if level == LevelDRAM {
+		return h.Params, nil
+	}
+	lp, ok := h.Levels[level]
+	if !ok {
+		return Params{}, fmt.Errorf("%w: %v", ErrUnknownLevel, level)
+	}
+	p := h.Params
+	p.TauMem = lp.Tau
+	p.EpsMem = lp.Eps
+	return p, nil
+}
+
+// Validate checks the base parameters and the paper's sanity invariants:
+// all level costs positive, and eps_L1 <= eps_L2 when both are present
+// ("as it can be seen in table I, eps_L1 <= eps_L2 for every system").
+func (h Hierarchy) Validate() error {
+	if err := h.Params.Validate(); err != nil {
+		return err
+	}
+	for level, lp := range h.Levels {
+		if lp.Tau <= 0 || math.IsNaN(float64(lp.Tau)) || math.IsInf(float64(lp.Tau), 0) {
+			return fmt.Errorf("model: level %v tau must be positive and finite", level)
+		}
+		if lp.Eps < 0 || math.IsNaN(float64(lp.Eps)) || math.IsInf(float64(lp.Eps), 0) {
+			return fmt.Errorf("model: level %v eps must be non-negative and finite", level)
+		}
+	}
+	l1, ok1 := h.Levels[LevelL1]
+	l2, ok2 := h.Levels[LevelL2]
+	if ok1 && ok2 && l1.Eps > l2.Eps {
+		return fmt.Errorf("model: eps_L1 (%v) > eps_L2 (%v) violates inclusive-cost ordering", l1.Eps, l2.Eps)
+	}
+	return nil
+}
+
+// Time generalizes eq. (3) to per-level traffic: flops and each level's
+// transfers overlap maximally, and the cap term pools all dynamic energy.
+func (h Hierarchy) Time(w units.Flops, traffic []LevelTraffic) (units.Time, error) {
+	tMax := float64(w) * float64(h.TauFlop)
+	dynamic := float64(w) * float64(h.EpsFlop)
+	for _, tr := range traffic {
+		p, err := h.ParamsFor(tr.Level)
+		if err != nil {
+			return 0, err
+		}
+		if t := float64(tr.Bytes) * float64(p.TauMem); t > tMax {
+			tMax = t
+		}
+		dynamic += float64(tr.Bytes) * float64(p.EpsMem)
+	}
+	if dynamic > 0 {
+		if capT := dynamic / float64(h.DeltaPi); capT > tMax {
+			tMax = capT
+		}
+	}
+	return units.Time(tMax), nil
+}
+
+// Energy generalizes eq. (1) to per-level traffic.
+func (h Hierarchy) Energy(w units.Flops, traffic []LevelTraffic) (units.Energy, error) {
+	t, err := h.Time(w, traffic)
+	if err != nil {
+		return 0, err
+	}
+	e := float64(w)*float64(h.EpsFlop) + float64(h.Pi1)*float64(t)
+	for _, tr := range traffic {
+		p, perr := h.ParamsFor(tr.Level)
+		if perr != nil {
+			return 0, perr
+		}
+		e += float64(tr.Bytes) * float64(p.EpsMem)
+	}
+	return units.Energy(e), nil
+}
+
+// RandomAccessParams describe the pointer-chase access mode: a sustained
+// access rate and an inclusive energy per access (Table I columns 13).
+type RandomAccessParams struct {
+	Rate units.AccessRate      // sustainable random accesses per second
+	Eps  units.EnergyPerAccess // inclusive energy per access
+	Line units.Bytes           // cache line fetched per access
+}
+
+// TimeEnergy evaluates the model for n random accesses interleaved with w
+// flops under constant power pi1 and cap deltaPi: the same max-of-three
+// structure with accesses in place of bytes.
+func (r RandomAccessParams) TimeEnergy(n units.Accesses, base Params) (units.Time, units.Energy, error) {
+	if r.Rate <= 0 {
+		return 0, 0, errors.New("model: random access rate must be positive")
+	}
+	tAcc := float64(n) / float64(r.Rate)
+	dynamic := float64(n) * float64(r.Eps)
+	t := tAcc
+	if dynamic > 0 && float64(base.DeltaPi) > 0 {
+		if capT := dynamic / float64(base.DeltaPi); capT > t {
+			t = capT
+		}
+	}
+	e := dynamic + float64(base.Pi1)*t
+	return units.Time(t), units.Energy(e), nil
+}

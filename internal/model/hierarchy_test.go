@@ -1,0 +1,169 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"archline/internal/units"
+)
+
+// titanHierarchy builds the Titan's Table I hierarchy: L1 (shared memory)
+// 24.4 pJ/B at 1610 GB/s, L2 195 pJ/B at 297 GB/s.
+func titanHierarchy() Hierarchy {
+	return Hierarchy{
+		Params: titanParams(),
+		Levels: map[MemLevel]LevelParams{
+			LevelL1: {Tau: units.GBPerSec(1610).Inverse(), Eps: units.PicoJoulePerByte(24.4)},
+			LevelL2: {Tau: units.GBPerSec(297).Inverse(), Eps: units.PicoJoulePerByte(195)},
+		},
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	h := titanHierarchy()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("valid hierarchy rejected: %v", err)
+	}
+	// eps_L1 > eps_L2 violates the inclusive-cost ordering of section V-B.
+	bad := titanHierarchy()
+	bad.Levels[LevelL1] = LevelParams{Tau: bad.Levels[LevelL1].Tau, Eps: units.PicoJoulePerByte(500)}
+	if bad.Validate() == nil {
+		t.Error("eps_L1 > eps_L2 should be rejected")
+	}
+	bad = titanHierarchy()
+	bad.Levels[LevelL2] = LevelParams{Tau: 0, Eps: 1}
+	if bad.Validate() == nil {
+		t.Error("zero level tau should be rejected")
+	}
+	bad = titanHierarchy()
+	bad.Levels[LevelL2] = LevelParams{Tau: 1, Eps: units.EnergyPerByte(math.NaN())}
+	if bad.Validate() == nil {
+		t.Error("NaN level eps should be rejected")
+	}
+	bad = titanHierarchy()
+	bad.TauFlop = 0
+	if bad.Validate() == nil {
+		t.Error("invalid base params should be rejected")
+	}
+}
+
+func TestParamsFor(t *testing.T) {
+	h := titanHierarchy()
+	l2, err := h.ParamsFor(LevelL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(l2.PeakByteRate()), 297e9, 1e-9, "L2 bandwidth")
+	approx(t, float64(l2.EpsMem), 195e-12, 1e-9, "L2 energy")
+	// Flop-side params unchanged.
+	if l2.TauFlop != h.TauFlop || l2.Pi1 != h.Pi1 {
+		t.Error("ParamsFor should only swap memory costs")
+	}
+	dram, err := h.ParamsFor(LevelDRAM)
+	if err != nil || dram != h.Params {
+		t.Error("LevelDRAM should return base params")
+	}
+	if _, err := h.ParamsFor(LevelRand); !errors.Is(err, ErrUnknownLevel) {
+		t.Errorf("missing level should return ErrUnknownLevel, got %v", err)
+	}
+}
+
+func TestHierarchyTimeEnergy(t *testing.T) {
+	h := titanHierarchy()
+	w := units.GFlops(10)
+	traffic := []LevelTraffic{
+		{Level: LevelDRAM, Bytes: units.GB(1)},
+		{Level: LevelL2, Bytes: units.GB(4)},
+		{Level: LevelL1, Bytes: units.GB(16)},
+	}
+	tm, err := h.Time(w, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm <= 0 {
+		t.Fatal("time must be positive")
+	}
+	e, err := h.Energy(w, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy must include every component.
+	minE := float64(w)*float64(h.EpsFlop) +
+		1e9*267e-12 + 4e9*195e-12 + 16e9*24.4e-12
+	if float64(e) < minE {
+		t.Errorf("energy %v below sum of dynamic parts %v", float64(e), minE)
+	}
+	// Unknown level propagates an error.
+	if _, err := h.Time(w, []LevelTraffic{{Level: LevelRand, Bytes: 1}}); err == nil {
+		t.Error("unknown level in Time should error")
+	}
+	if _, err := h.Energy(w, []LevelTraffic{{Level: LevelRand, Bytes: 1}}); err == nil {
+		t.Error("unknown level in Energy should error")
+	}
+}
+
+func TestHierarchyReducesToFlatModel(t *testing.T) {
+	// With all traffic at DRAM, hierarchy model == flat model.
+	h := titanHierarchy()
+	w, q := units.GFlops(10), units.GB(2)
+	tm, err := h.Time(w, []LevelTraffic{{Level: LevelDRAM, Bytes: q}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(tm), float64(h.Params.Time(w, q)), 1e-12, "time reduction")
+	e, err := h.Energy(w, []LevelTraffic{{Level: LevelDRAM, Bytes: q}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(e), float64(h.Params.Energy(w, q)), 1e-12, "energy reduction")
+}
+
+func TestMemLevelString(t *testing.T) {
+	names := map[MemLevel]string{
+		LevelDRAM: "DRAM", LevelL1: "L1", LevelL2: "L2",
+		LevelRand: "random", MemLevel(42): "unknown",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func TestRandomAccessParams(t *testing.T) {
+	// Titan: 968 Macc/s at 48 nJ/access (Table I column 13).
+	r := RandomAccessParams{
+		Rate: units.MAccPerSec(968),
+		Eps:  units.NanoJoulePerAccess(48),
+		Line: 128,
+	}
+	base := titanParams()
+	n := units.Accesses(1e9)
+	tm, e, err := r.TimeEnergy(n, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic power of chasing: 48 nJ * 968 Macc/s = 46.5 W < cap, so
+	// time is rate-limited.
+	approx(t, float64(tm), 1e9/968e6, 1e-9, "chase time")
+	wantE := 1e9*48e-9 + float64(base.Pi1)*float64(tm)
+	approx(t, float64(e), wantE, 1e-9, "chase energy")
+
+	// Power-capped chasing: tiny cap throttles access rate.
+	capped := base
+	capped.DeltaPi = 10
+	tm2, _, err := r.TimeEnergy(n, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tm2 > tm) {
+		t.Error("cap should slow random access")
+	}
+	approx(t, float64(tm2), 1e9*48e-9/10, 1e-9, "capped chase time")
+
+	bad := RandomAccessParams{Rate: 0}
+	if _, _, err := bad.TimeEnergy(1, base); err == nil {
+		t.Error("zero rate should error")
+	}
+}

@@ -1,0 +1,98 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"archline/internal/units"
+)
+
+func TestRequiredIntensityForRate(t *testing.T) {
+	p := titanParams()
+	// At frac=1 the knee is B_tau^+ (the cap interval's upper edge on a
+	// capped machine): above it the rate is peak, below it isn't.
+	i, err := p.RequiredIntensityForRate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(i), float64(p.TimeBalancePlus()), 1e-6, "full-rate knee at B_tau^+")
+	// Half rate is reached at a lower intensity.
+	half, err := p.RequiredIntensityForRate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half >= i {
+		t.Errorf("half-rate knee %v should be below full-rate knee %v", half, i)
+	}
+	// And the rate there is indeed half the peak.
+	peak := float64(p.FlopRateAt(units.Intensity(math.Inf(1))))
+	approx(t, float64(p.FlopRateAt(half)), 0.5*peak, 1e-6, "rate at the half knee")
+
+	for _, frac := range []float64{0, -1, 1.5} {
+		if _, err := p.RequiredIntensityForRate(frac); err == nil {
+			t.Errorf("frac %v should error", frac)
+		}
+	}
+	var bad Params
+	if _, err := bad.RequiredIntensityForRate(0.5); err == nil {
+		t.Error("invalid machine should error")
+	}
+}
+
+func TestRequiredIntensityForEfficiency(t *testing.T) {
+	p := titanParams()
+	// 80% of peak flop/J on the Titan needs a solidly compute-bound
+	// intensity; 20% is reachable while bandwidth-bound.
+	hi, err := p.RequiredIntensityForEfficiency(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := p.RequiredIntensityForEfficiency(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Errorf("knee ordering: 20%% at %v, 80%% at %v", lo, hi)
+	}
+	eff := float64(p.FlopsPerJouleAt(hi))
+	approx(t, eff, 0.8*float64(p.PeakFlopsPerJoule()), 1e-6, "efficiency at the knee")
+	// The paper's fig. 1 reading in knee form: the Arndale GPU reaches
+	// half its peak efficiency at a much lower intensity than the Titan
+	// reaches half of its (the mobile part is "easier to feed").
+	mali := arndaleGPUParams()
+	kneeT, _ := p.RequiredIntensityForEfficiency(0.5)
+	kneeM, _ := mali.RequiredIntensityForEfficiency(0.5)
+	if kneeM >= kneeT {
+		t.Errorf("Arndale 50%% knee %v should be below Titan's %v", kneeM, kneeT)
+	}
+
+	if _, err := p.RequiredIntensityForEfficiency(0); err == nil {
+		t.Error("frac 0 should error")
+	}
+	var bad Params
+	if _, err := bad.RequiredIntensityForEfficiency(0.5); err == nil {
+		t.Error("invalid machine should error")
+	}
+}
+
+// Property: the knee respects its contract — rate below the knee is
+// under target, at/above the knee meets it.
+func TestQuickKneeContract(t *testing.T) {
+	f := func(a, b, c, d, fr float64) bool {
+		p := randomParams(a, b, c, d)
+		frac := 0.05 + 0.9*math.Abs(finMod(fr, 1))
+		knee, err := p.RequiredIntensityForRate(frac)
+		if err != nil {
+			return true // degenerate machines may reject
+		}
+		peak := float64(p.FlopRateAt(units.Intensity(math.Inf(1))))
+		target := frac * peak
+		atKnee := float64(p.FlopRateAt(knee))
+		below := float64(p.FlopRateAt(knee * 0.9))
+		return atKnee >= target*(1-1e-6) && below <= target*(1+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"math"
+
+	"archline/internal/units"
+)
+
+// Regime classifies which term of eq. (3)'s max dominates at a given
+// intensity: the memory-bandwidth term, the power-cap term, or the
+// compute term. These are the "M", "C", and "F" annotations of fig. 6.
+type Regime int
+
+// The three regimes of the capped model.
+const (
+	MemoryBound  Regime = iota // Q tau_mem dominates ("M")
+	CapBound                   // (W eps_flop + Q eps_mem)/DeltaPi dominates ("C")
+	ComputeBound               // W tau_flop dominates ("F", flop-bound)
+)
+
+// String returns the regime's name.
+func (r Regime) String() string {
+	switch r {
+	case MemoryBound:
+		return "memory-bound"
+	case CapBound:
+		return "cap-bound"
+	case ComputeBound:
+		return "compute-bound"
+	default:
+		return "unknown"
+	}
+}
+
+// Letter returns the paper's single-letter annotation used in fig. 6:
+// "M" for memory-bound, "C" for cap-bound, "F" for flop-(compute-)bound.
+func (r Regime) Letter() string {
+	switch r {
+	case MemoryBound:
+		return "M"
+	case CapBound:
+		return "C"
+	case ComputeBound:
+		return "F"
+	default:
+		return "?"
+	}
+}
+
+// RegimeAt classifies intensity i against the machine's cap interval
+// [B_tau^-, B_tau^+]. When the cap never binds (Powerful), intensities
+// below B_tau are memory-bound and those at or above are compute-bound.
+func (p Params) RegimeAt(i units.Intensity) Regime {
+	iv := float64(i)
+	if math.IsNaN(iv) {
+		return CapBound
+	}
+	if p.Powerful() {
+		if iv < float64(p.TimeBalance()) {
+			return MemoryBound
+		}
+		return ComputeBound
+	}
+	switch {
+	case iv >= float64(p.TimeBalancePlus()):
+		return ComputeBound
+	case iv <= float64(p.TimeBalanceMinus()):
+		return MemoryBound
+	default:
+		return CapBound
+	}
+}
+
+// ThrottleFactor is the slowdown the cap imposes at intensity i: the
+// capped model's time divided by the uncapped model's time at the same
+// workload. A value of 1 means the cap does not bind; the paper's "by how
+// much flops and memory operations should slow down" prediction.
+func (p Params) ThrottleFactor(i units.Intensity) float64 {
+	if i <= 0 {
+		return 1
+	}
+	w := units.Flops(1)
+	q := units.Intensity(i).Bytes(w)
+	tu := float64(p.TimeUncapped(w, q))
+	tc := float64(p.Time(w, q))
+	if tu <= 0 {
+		return 1
+	}
+	return tc / tu
+}
+
+// CapBindingRange returns the intensity interval [lo, hi] over which the
+// power cap is the binding constraint, or ok == false when the cap never
+// binds (DeltaPi >= pi_flop + pi_mem).
+func (p Params) CapBindingRange() (lo, hi units.Intensity, ok bool) {
+	if p.Powerful() {
+		return 0, 0, false
+	}
+	return p.TimeBalanceMinus(), p.TimeBalancePlus(), true
+}

@@ -1,0 +1,65 @@
+package powermon
+
+import (
+	"errors"
+
+	"archline/internal/stats"
+	"archline/internal/units"
+)
+
+// Calibration corrects per-channel gain error the way a lab calibrates
+// PowerMon's shunts: record a known reference load, compare each
+// channel's reading against its expected share, and derive correction
+// factors to apply to subsequent recordings.
+type Calibration struct {
+	// Factors maps channel name to the multiplicative correction that
+	// makes the calibration load read true.
+	Factors map[string]float64
+}
+
+// Calibrate records the reference load (a precision resistor bank of
+// known power) on the meter and returns the per-channel corrections. The
+// shares configured on the meter define each channel's expected reading.
+func Calibrate(m *Meter, reference units.Power, duration units.Time, rng *stats.Stream) (*Calibration, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if reference <= 0 {
+		return nil, errors.New("powermon: reference power must be positive")
+	}
+	tr, err := m.Record(Constant(reference), duration, rng)
+	if err != nil {
+		return nil, err
+	}
+	cal := &Calibration{Factors: map[string]float64{}}
+	for i, ch := range m.Channels {
+		measured := float64(tr.Channels[i].AvgPower())
+		expected := float64(reference) * ch.Share
+		if ch.Share == 0 {
+			cal.Factors[ch.Name] = 1
+			continue
+		}
+		if measured <= 0 {
+			return nil, errors.New("powermon: calibration channel read zero power")
+		}
+		cal.Factors[ch.Name] = expected / measured
+	}
+	return cal, nil
+}
+
+// Apply corrects a trace in place using the calibration factors.
+// Channels without a factor are left untouched.
+func (c *Calibration) Apply(tr *Trace) {
+	if c == nil || tr == nil {
+		return
+	}
+	for i := range tr.Channels {
+		f, ok := c.Factors[tr.Channels[i].Channel]
+		if !ok {
+			continue
+		}
+		for k := range tr.Channels[i].Samples {
+			tr.Channels[i].Samples[k].I *= f
+		}
+	}
+}

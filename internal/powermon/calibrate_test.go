@@ -1,0 +1,82 @@
+package powermon
+
+import (
+	"math"
+	"testing"
+
+	"archline/internal/stats"
+)
+
+func TestCalibrateCorrectsGainBias(t *testing.T) {
+	m := PCIeGPUMeter() // has built-in gain errors up to 0.4%
+	rng := stats.NewStream(21, "cal")
+	cal, err := Calibrate(m, 100, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Factors) != 3 {
+		t.Fatalf("got %d factors", len(cal.Factors))
+	}
+	// Factors should approximately invert the configured gains.
+	for i, ch := range m.Channels {
+		want := 1 / ch.CalibGain
+		got := cal.Factors[ch.Name]
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("channel %d factor %v, want ~%v", i, got, want)
+		}
+	}
+	// A corrected measurement reads true.
+	tr, err := m.Record(Constant(250), 1, stats.NewStream(22, "cal2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := float64(tr.AvgPower())
+	cal.Apply(tr)
+	corrected := float64(tr.AvgPower())
+	if math.Abs(corrected-250) > math.Abs(raw-250) && math.Abs(corrected-250) > 0.5 {
+		t.Errorf("calibration should improve accuracy: raw %v, corrected %v", raw, corrected)
+	}
+	if math.Abs(corrected-250) > 0.01*250 {
+		t.Errorf("corrected power %v, want ~250", corrected)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	m := MobileBoardMeter()
+	if _, err := Calibrate(m, 0, 1, nil); err == nil {
+		t.Error("zero reference should error")
+	}
+	bad := &Meter{SampleRate: 1024}
+	if _, err := Calibrate(bad, 100, 1, nil); err == nil {
+		t.Error("invalid meter should error")
+	}
+}
+
+func TestCalibrateZeroShareChannel(t *testing.T) {
+	m := &Meter{
+		SampleRate: 1024,
+		Channels: []Channel{
+			{Name: "main", Voltage: 12, Share: 1, CalibGain: 1.02},
+			{Name: "spare", Voltage: 12, Share: 0, CalibGain: 1},
+		},
+	}
+	cal, err := Calibrate(m, 50, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Factors["spare"] != 1 {
+		t.Error("zero-share channel should get unit factor")
+	}
+}
+
+func TestApplyNilSafety(t *testing.T) {
+	var cal *Calibration
+	cal.Apply(nil) // must not panic
+	c := &Calibration{Factors: map[string]float64{"x": 2}}
+	c.Apply(nil) // must not panic
+	tr := &Trace{Channels: []ChannelTrace{{Channel: "unknown", Samples: []Sample{{V: 12, I: 1}}}}}
+	c.Apply(tr)
+	if tr.Channels[0].Samples[0].I != 1 {
+		t.Error("unknown channel should be untouched")
+	}
+}

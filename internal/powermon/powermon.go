@@ -1,0 +1,276 @@
+// Package powermon simulates the paper's power-measurement
+// infrastructure: PowerMon 2, a fine-grained DC power monitor that sits
+// between a device and its supply sampling voltage and current at 1024 Hz
+// per channel (up to 3072 Hz aggregate over 8 channels), and the custom
+// PCIe interposer that measures the power a GPU draws through the
+// motherboard slot.
+//
+// The simulation reproduces the measurement *computation* of section IV
+// exactly: instantaneous power is the product of sampled current and
+// voltage; average power is the mean of instantaneous power over samples,
+// summed across supply rails; total energy is average power times
+// execution time. It also reproduces the measurement *artefacts* that
+// make fitting non-trivial: finite sampling rate, aggregate-bandwidth
+// sharing across channels, per-channel calibration error, and additive
+// sensor noise.
+package powermon
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"archline/internal/stats"
+	"archline/internal/units"
+)
+
+// Signal is the ground-truth instantaneous power draw of a device as a
+// function of time since the start of the run. The hardware simulator
+// provides one per experiment.
+type Signal func(t units.Time) units.Power
+
+// Constant returns a flat power signal.
+func Constant(p units.Power) Signal {
+	return func(units.Time) units.Power { return p }
+}
+
+// Channel configures one measurement channel: one DC rail intercepted by
+// PowerMon 2 or by the PCIe interposer.
+type Channel struct {
+	Name    string  // e.g. "12V-8pin", "PCIe-slot"
+	Voltage float64 // nominal rail voltage (V)
+	Share   float64 // fraction of device power drawn through this rail
+	// CalibGain is the channel's multiplicative calibration error
+	// (1.0 = perfect). PowerMon's shunt calibration is good to ~1%.
+	CalibGain float64
+	// NoiseSD is the standard deviation of multiplicative sensor noise
+	// applied to each current sample.
+	NoiseSD float64
+}
+
+// Meter is a configured measurement setup.
+type Meter struct {
+	Channels []Channel
+	// SampleRate is the per-channel sampling frequency in Hz.
+	// PowerMon 2 samples at 1024 Hz per channel.
+	SampleRate float64
+	// MaxAggregate caps the total samples/s across channels (PowerMon 2:
+	// 3072 Hz over up to 8 channels). Zero means uncapped.
+	MaxAggregate float64
+}
+
+// Validate checks the meter configuration: shares must sum to 1 so the
+// rails jointly carry the device's power.
+func (m *Meter) Validate() error {
+	if len(m.Channels) == 0 {
+		return errors.New("powermon: meter needs at least one channel")
+	}
+	if len(m.Channels) > 8 {
+		return errors.New("powermon: PowerMon 2 supports at most 8 channels")
+	}
+	if m.SampleRate <= 0 {
+		return errors.New("powermon: sample rate must be positive")
+	}
+	total := 0.0
+	for _, c := range m.Channels {
+		if c.Voltage <= 0 {
+			return fmt.Errorf("powermon: channel %q voltage must be positive", c.Name)
+		}
+		if c.Share < 0 {
+			return fmt.Errorf("powermon: channel %q share must be non-negative", c.Name)
+		}
+		if c.CalibGain <= 0 {
+			return fmt.Errorf("powermon: channel %q calibration gain must be positive", c.Name)
+		}
+		total += c.Share
+	}
+	if total < 0.999 || total > 1.001 {
+		return fmt.Errorf("powermon: channel shares sum to %v, want 1", total)
+	}
+	return nil
+}
+
+// EffectiveRate is the realized per-channel sampling rate after the
+// aggregate cap is shared across channels.
+func (m *Meter) EffectiveRate() float64 {
+	r := m.SampleRate
+	if m.MaxAggregate > 0 && float64(len(m.Channels))*r > m.MaxAggregate {
+		r = m.MaxAggregate / float64(len(m.Channels))
+	}
+	return r
+}
+
+// Sample is one time-stamped voltage/current measurement on one channel.
+type Sample struct {
+	T units.Time // time since run start
+	V float64    // volts
+	I float64    // amperes
+}
+
+// Power is the instantaneous power of the sample.
+func (s Sample) Power() units.Power { return units.Power(s.V * s.I) }
+
+// ChannelTrace is the sample series for one channel.
+type ChannelTrace struct {
+	Channel string
+	Samples []Sample
+}
+
+// AvgPower is the mean instantaneous power over the samples, the paper's
+// per-source average ("assuming uniform samples, we compute the average
+// power as the average of the instantaneous power over all samples").
+func (ct *ChannelTrace) AvgPower() units.Power {
+	if len(ct.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range ct.Samples {
+		sum += float64(s.Power())
+	}
+	return units.Power(sum / float64(len(ct.Samples)))
+}
+
+// Trace is a complete multi-rail recording of one run.
+type Trace struct {
+	Channels []ChannelTrace
+	Duration units.Time
+}
+
+// AvgPower sums the per-channel average powers, the paper's treatment of
+// multi-source devices ("we sum the average powers to get total power").
+func (t *Trace) AvgPower() units.Power {
+	var sum units.Power
+	for i := range t.Channels {
+		sum += t.Channels[i].AvgPower()
+	}
+	return sum
+}
+
+// Energy is average power times execution time, as in section IV.
+func (t *Trace) Energy() units.Energy { return t.AvgPower().For(t.Duration) }
+
+// SampleCount returns the total number of samples across channels.
+func (t *Trace) SampleCount() int {
+	n := 0
+	for i := range t.Channels {
+		n += len(t.Channels[i].Samples)
+	}
+	return n
+}
+
+// Record measures a run: it samples the signal on every channel at the
+// effective rate for the given duration. Each channel sees its share of
+// the device power at its nominal voltage, perturbed by calibration gain
+// and per-sample noise. rng may be nil for noiseless recording.
+func (m *Meter) Record(sig Signal, duration units.Time, rng *stats.Stream) (*Trace, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, errors.New("powermon: duration must be positive")
+	}
+	if sig == nil {
+		return nil, errors.New("powermon: nil signal")
+	}
+	rate := m.EffectiveRate()
+	n := int(float64(duration) * rate)
+	if n < 1 {
+		n = 1 // a very short run still yields one sample per channel
+	}
+	dt := float64(duration) / float64(n)
+	tr := &Trace{Duration: duration}
+	for _, ch := range m.Channels {
+		ctr := ChannelTrace{Channel: ch.Name, Samples: make([]Sample, n)}
+		for k := 0; k < n; k++ {
+			// Sample mid-interval, as an integrating ADC effectively does.
+			ts := units.Time((float64(k) + 0.5) * dt)
+			p := float64(sig(ts)) * ch.Share
+			i := p / ch.Voltage
+			v := ch.Voltage
+			if rng != nil {
+				i *= ch.CalibGain * (1 + ch.NoiseSD*rng.NormFloat64())
+				v *= 1 + 0.001*rng.NormFloat64() // small supply ripple
+			}
+			ctr.Samples[k] = Sample{T: ts, V: v, I: i}
+		}
+		tr.Channels = append(tr.Channels, ctr)
+	}
+	return tr, nil
+}
+
+// WriteCSV streams the trace as time-stamped rows:
+// channel,t_seconds,volts,amps.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"channel", "t", "v", "i"}); err != nil {
+		return err
+	}
+	for _, ch := range t.Channels {
+		for _, s := range ch.Samples {
+			rec := []string{
+				ch.Channel,
+				strconv.FormatFloat(float64(s.T), 'g', -1, 64),
+				strconv.FormatFloat(s.V, 'g', -1, 64),
+				strconv.FormatFloat(s.I, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. The duration is recovered
+// as the latest timestamp plus half the median sampling interval.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, errors.New("powermon: empty trace")
+	}
+	byChan := map[string][]Sample{}
+	var order []string
+	maxT := 0.0
+	for _, row := range rows[1:] {
+		if len(row) != 4 {
+			return nil, fmt.Errorf("powermon: malformed row %v", row)
+		}
+		ts, err1 := strconv.ParseFloat(row[1], 64)
+		v, err2 := strconv.ParseFloat(row[2], 64)
+		i, err3 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("powermon: malformed row %v", row)
+		}
+		if _, ok := byChan[row[0]]; !ok {
+			order = append(order, row[0])
+		}
+		byChan[row[0]] = append(byChan[row[0]], Sample{T: units.Time(ts), V: v, I: i})
+		if ts > maxT {
+			maxT = ts
+		}
+	}
+	tr := &Trace{}
+	for _, name := range order {
+		ss := byChan[name]
+		sort.Slice(ss, func(a, b int) bool { return ss[a].T < ss[b].T })
+		tr.Channels = append(tr.Channels, ChannelTrace{Channel: name, Samples: ss})
+	}
+	// Recover duration: samples are mid-interval, so the run extends half
+	// an interval past the last sample.
+	first := tr.Channels[0].Samples
+	if len(first) >= 2 {
+		dt := float64(first[1].T - first[0].T)
+		tr.Duration = units.Time(maxT + dt/2)
+	} else {
+		tr.Duration = units.Time(2 * maxT)
+	}
+	return tr, nil
+}

@@ -1,0 +1,54 @@
+package powermon
+
+// This file provides the measurement setups of the paper's fig. 3: the
+// probe placements for mobile dev boards, CPU systems, and
+// multiple-supply PCIe devices.
+
+// DefaultSampleRate is PowerMon 2's per-channel rate in Hz.
+const DefaultSampleRate = 1024
+
+// DefaultMaxAggregate is PowerMon 2's aggregate sampling budget in Hz.
+const DefaultMaxAggregate = 3072
+
+// MobileBoardMeter measures a development board (PandaBoard, Arndale,
+// NUC, APU) at its DC power brick: one channel carrying the full
+// system-level power, which "includes CPU, GPU, DRAM, and peripherals".
+func MobileBoardMeter() *Meter {
+	return &Meter{
+		SampleRate:   DefaultSampleRate,
+		MaxAggregate: DefaultMaxAggregate,
+		Channels: []Channel{
+			{Name: "dc-brick", Voltage: 12, Share: 1, CalibGain: 1.003, NoiseSD: 0.01},
+		},
+	}
+}
+
+// CPUSystemMeter measures a desktop CPU system: input both to the CPU
+// (the ATX 12 V CPU connector) and to the motherboard, which powers the
+// DRAM modules.
+func CPUSystemMeter() *Meter {
+	return &Meter{
+		SampleRate:   DefaultSampleRate,
+		MaxAggregate: DefaultMaxAggregate,
+		Channels: []Channel{
+			{Name: "cpu-12v", Voltage: 12, Share: 0.68, CalibGain: 0.998, NoiseSD: 0.01},
+			{Name: "motherboard", Voltage: 12, Share: 0.32, CalibGain: 1.002, NoiseSD: 0.012},
+		},
+	}
+}
+
+// PCIeGPUMeter measures a high-performance discrete GPU, which draws
+// power from multiple sources: the motherboard through the PCIe slot
+// (via the custom PCIe interposer, capped at 75 W by the slot spec) and
+// the 12 V 8-pin and 6-pin PCIe power connectors (via PowerMon 2).
+func PCIeGPUMeter() *Meter {
+	return &Meter{
+		SampleRate:   DefaultSampleRate,
+		MaxAggregate: DefaultMaxAggregate,
+		Channels: []Channel{
+			{Name: "pcie-slot", Voltage: 12, Share: 0.24, CalibGain: 1.004, NoiseSD: 0.015},
+			{Name: "12v-8pin", Voltage: 12, Share: 0.47, CalibGain: 0.997, NoiseSD: 0.01},
+			{Name: "12v-6pin", Voltage: 12, Share: 0.29, CalibGain: 1.001, NoiseSD: 0.01},
+		},
+	}
+}

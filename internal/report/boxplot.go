@@ -1,0 +1,94 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"archline/internal/stats"
+)
+
+// BoxRow is one labelled distribution for the boxplot renderer.
+type BoxRow struct {
+	Label string
+	Stats stats.FiveNumber
+}
+
+// Boxplot renders five-number summaries as aligned ASCII box-and-whisker
+// rows on a shared scale — the textual rendition of fig. 4's boxplots:
+//
+//	name  |------[===M====]--------|
+//
+// mark, when finite, draws a reference column (fig. 4 uses zero error).
+func Boxplot(rows []BoxRow, width int, mark float64) string {
+	if len(rows) == 0 {
+		return "(no data)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		lo = math.Min(lo, r.Stats.Min)
+		hi = math.Max(hi, r.Stats.Max)
+	}
+	if !math.IsNaN(mark) {
+		lo = math.Min(lo, mark)
+		hi = math.Max(hi, mark)
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	pos := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		line := []byte(strings.Repeat(" ", width))
+		if !math.IsNaN(mark) {
+			line[pos(mark)] = ':'
+		}
+		pMin, pQ1, pMed, pQ3, pMax := pos(r.Stats.Min), pos(r.Stats.Q1),
+			pos(r.Stats.Median), pos(r.Stats.Q3), pos(r.Stats.Max)
+		for k := pMin; k <= pMax; k++ {
+			if line[k] == ' ' {
+				line[k] = '-'
+			}
+		}
+		for k := pQ1; k <= pQ3; k++ {
+			line[k] = '='
+		}
+		line[pMin] = '|'
+		line[pMax] = '|'
+		line[pQ1] = '['
+		line[pQ3] = ']'
+		line[pMed] = 'M'
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, r.Label, string(line))
+	}
+	fmt.Fprintf(&b, "%-*s %s\n", labelW, "", scaleLine(lo, hi, width))
+	return b.String()
+}
+
+// scaleLine renders the axis extremes under the plot.
+func scaleLine(lo, hi float64, width int) string {
+	l := formatTick(lo)
+	h := formatTick(hi)
+	gap := width - len(l) - len(h)
+	if gap < 1 {
+		gap = 1
+	}
+	return l + strings.Repeat(" ", gap) + h
+}

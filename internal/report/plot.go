@@ -1,0 +1,155 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"archline/internal/units"
+)
+
+// PlotSeries is one named curve for the ASCII plotter.
+type PlotSeries struct {
+	Name   string
+	X      []float64 // intensities
+	Y      []float64 // metric values
+	Marker byte      // glyph; 0 picks automatically
+}
+
+// Plot renders series on a log-x (and optionally log-y) character grid —
+// a textual rendition of the paper's figures.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 20)
+	LogY   bool
+	Series []PlotSeries
+}
+
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	// Collect finite positive-x points.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if x <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if p.LogY && y <= 0 {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	if math.IsInf(xmin, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin * 2
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	tx := func(x float64) float64 { return math.Log(x) }
+	ty := func(y float64) float64 {
+		if p.LogY {
+			return math.Log(y)
+		}
+		return y
+	}
+	x0, x1 := tx(xmin), tx(xmax)
+	y0, y1 := ty(ymin), ty(ymax)
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if x <= 0 || math.IsNaN(y) || math.IsInf(y, 0) || (p.LogY && y <= 0) {
+				continue
+			}
+			cx := int(math.Round((tx(x) - x0) / (x1 - x0) * float64(w-1)))
+			cy := int(math.Round((ty(y) - y0) / (y1 - y0) * float64(h-1)))
+			row := h - 1 - cy
+			if row < 0 || row >= h || cx < 0 || cx >= w {
+				continue
+			}
+			grid[row][cx] = marker
+		}
+	}
+	// Y-axis labels at top/bottom.
+	topLabel := formatTick(ymax)
+	botLabel := formatTick(ymin)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", p.YLabel)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		case h - 1:
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", labelW), w-len(formatTick(xmax)),
+		formatTick(xmin), formatTick(xmax))
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", labelW), p.XLabel)
+	}
+	// Legend.
+	names := make([]string, 0, len(p.Series))
+	for si, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		names = append(names, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	sort.Strings(names)
+	b.WriteString("legend: " + strings.Join(names, " | "))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// formatTick renders an axis extreme compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	if av >= 1000 || (av < 0.01 && av > 0) {
+		return units.FormatSI(v, "", 3)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"errors"
+	"sort"
+
+	"archline/internal/model"
+	"archline/internal/units"
+)
+
+// This file answers the question the paper's title poses in the plural:
+// if a system may mix candidate building blocks, how should divisible
+// work at a given intensity be split across them? Two classic policies:
+// minimize time (load balance by achievable rate) or minimize energy
+// under a deadline (greedily fill the machines with the cheapest
+// marginal joules per flop first).
+
+// HeteroMachine is one building block in a heterogeneous pool.
+type HeteroMachine struct {
+	Name   string
+	Params model.Params
+	// Count replicates the block (Count >= 1).
+	Count int
+}
+
+// HeteroShare is one machine's assignment.
+type HeteroShare struct {
+	Name     string
+	Fraction float64 // share of total work
+	Time     units.Time
+	Energy   units.Energy // dynamic + this machine's pi_1 over its busy time
+}
+
+// HeteroSplit is a complete partition.
+type HeteroSplit struct {
+	Shares []HeteroShare
+	// Time is the makespan; Energy totals every machine's cost over the
+	// makespan (idle machines still burn pi_1 until the job completes).
+	Time   units.Time
+	Energy units.Energy
+}
+
+// validatePool checks a machine pool.
+func validatePool(pool []HeteroMachine) error {
+	if len(pool) == 0 {
+		return errors.New("scenario: empty machine pool")
+	}
+	for _, m := range pool {
+		if err := m.Params.Validate(); err != nil {
+			return err
+		}
+		if m.Count < 1 {
+			return errors.New("scenario: machine count must be >= 1")
+		}
+	}
+	return nil
+}
+
+// SplitForTime partitions w flops at intensity i across the pool to
+// minimize the makespan: each machine receives work in proportion to its
+// achievable rate at that intensity, so all finish together (the
+// balanced partition is optimal for divisible work).
+func SplitForTime(pool []HeteroMachine, w units.Flops, i units.Intensity) (*HeteroSplit, error) {
+	if err := validatePool(pool); err != nil {
+		return nil, err
+	}
+	if w <= 0 || i <= 0 {
+		return nil, errors.New("scenario: work and intensity must be positive")
+	}
+	var totalRate float64
+	rates := make([]float64, len(pool))
+	for k, m := range pool {
+		rates[k] = float64(m.Params.FlopRateAt(i)) * float64(m.Count)
+		totalRate += rates[k]
+	}
+	if totalRate <= 0 {
+		return nil, errors.New("scenario: pool has no throughput at this intensity")
+	}
+	makespan := float64(w) / totalRate
+	out := &HeteroSplit{Time: units.Time(makespan)}
+	var energy float64
+	for k, m := range pool {
+		frac := rates[k] / totalRate
+		wk := units.Flops(float64(w) * frac)
+		qk := i.Bytes(wk)
+		// All machines run the full makespan by construction.
+		e := float64(wk)*float64(m.Params.EpsFlop) + float64(qk)*float64(m.Params.EpsMem) +
+			float64(m.Params.Pi1)*float64(m.Count)*makespan
+		energy += e
+		out.Shares = append(out.Shares, HeteroShare{
+			Name:     m.Name,
+			Fraction: frac,
+			Time:     units.Time(makespan),
+			Energy:   units.Energy(e),
+		})
+	}
+	out.Energy = units.Energy(energy)
+	return out, nil
+}
+
+// SplitForEnergy partitions w flops at intensity i to minimize energy
+// subject to finishing within the deadline: machines are filled in
+// increasing order of marginal (dynamic) joules per flop, each up to the
+// work it can complete by the deadline. Constant power burns on every
+// pool machine for the full deadline regardless of assignment (the pool
+// is powered either way), so only dynamic energy drives the ordering.
+// It returns an error if the pool cannot finish in time.
+func SplitForEnergy(pool []HeteroMachine, w units.Flops, i units.Intensity,
+	deadline units.Time) (*HeteroSplit, error) {
+	if err := validatePool(pool); err != nil {
+		return nil, err
+	}
+	if w <= 0 || i <= 0 || deadline <= 0 {
+		return nil, errors.New("scenario: work, intensity, and deadline must be positive")
+	}
+	type cand struct {
+		idx      int
+		marginal float64 // dynamic J/flop at intensity i
+		capacity float64 // flops completable within the deadline
+	}
+	cands := make([]cand, len(pool))
+	for k, m := range pool {
+		dyn := float64(m.Params.EpsFlop) + float64(m.Params.EpsMem)/float64(i)
+		capacity := float64(m.Params.FlopRateAt(i)) * float64(m.Count) * float64(deadline)
+		cands[k] = cand{idx: k, marginal: dyn, capacity: capacity}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].marginal < cands[b].marginal })
+
+	assigned := make([]float64, len(pool))
+	remaining := float64(w)
+	for _, c := range cands {
+		if remaining <= 0 {
+			break
+		}
+		take := remaining
+		if take > c.capacity {
+			take = c.capacity
+		}
+		assigned[c.idx] = take
+		remaining -= take
+	}
+	if remaining > 1e-9*float64(w) {
+		return nil, errors.New("scenario: pool cannot meet the deadline")
+	}
+	out := &HeteroSplit{Time: deadline}
+	var energy float64
+	for k, m := range pool {
+		wk := assigned[k]
+		dyn := wk * (float64(m.Params.EpsFlop) + float64(m.Params.EpsMem)/float64(i))
+		e := dyn + float64(m.Params.Pi1)*float64(m.Count)*float64(deadline)
+		energy += e
+		busy := 0.0
+		if rate := float64(m.Params.FlopRateAt(i)) * float64(m.Count); rate > 0 {
+			busy = wk / rate
+		}
+		out.Shares = append(out.Shares, HeteroShare{
+			Name:     m.Name,
+			Fraction: wk / float64(w),
+			Time:     units.Time(busy),
+			Energy:   units.Energy(e),
+		})
+	}
+	out.Energy = units.Energy(energy)
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"archline/internal/units"
+)
+
+func heteroPool() []HeteroMachine {
+	return []HeteroMachine{
+		{Name: "titan", Params: titan(), Count: 1},
+		{Name: "mali", Params: mali(), Count: 8},
+	}
+}
+
+func TestSplitForTimeBalances(t *testing.T) {
+	w := units.TFlops(1)
+	i := units.Intensity(0.25)
+	sp, err := SplitForTime(heteroPool(), w, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Shares) != 2 {
+		t.Fatal("two shares expected")
+	}
+	// Fractions sum to 1.
+	if s := sp.Shares[0].Fraction + sp.Shares[1].Fraction; math.Abs(s-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", s)
+	}
+	// Work splits by rate: at I=0.25 the Titan streams 239 GB/s against
+	// 8x8.39 GB/s of Malis, so the Titan gets ~78%.
+	titanRate := float64(titan().FlopRateAt(i))
+	maliRate := 8 * float64(mali().FlopRateAt(i))
+	wantFrac := titanRate / (titanRate + maliRate)
+	if math.Abs(sp.Shares[0].Fraction-wantFrac) > 1e-9 {
+		t.Errorf("titan fraction %v, want %v", sp.Shares[0].Fraction, wantFrac)
+	}
+	// Makespan beats either machine alone.
+	alone := float64(w) / titanRate
+	if float64(sp.Time) >= alone {
+		t.Errorf("pooled time %v should beat the Titan alone %v", sp.Time, alone)
+	}
+	// All shares finish together (balanced).
+	if sp.Shares[0].Time != sp.Shares[1].Time {
+		t.Error("balanced split should equalize completion times")
+	}
+	// E = sum of share energies.
+	if math.Abs(float64(sp.Shares[0].Energy+sp.Shares[1].Energy-sp.Energy)) > 1e-9*float64(sp.Energy) {
+		t.Error("share energies should sum")
+	}
+}
+
+func TestSplitForTimeErrors(t *testing.T) {
+	if _, err := SplitForTime(nil, 1, 1); err == nil {
+		t.Error("empty pool should error")
+	}
+	if _, err := SplitForTime(heteroPool(), 0, 1); err == nil {
+		t.Error("zero work should error")
+	}
+	if _, err := SplitForTime(heteroPool(), 1, 0); err == nil {
+		t.Error("zero intensity should error")
+	}
+	bad := heteroPool()
+	bad[0].Count = 0
+	if _, err := SplitForTime(bad, 1, 1); err == nil {
+		t.Error("zero count should error")
+	}
+	bad = heteroPool()
+	bad[0].Params.TauFlop = 0
+	if _, err := SplitForTime(bad, 1, 1); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestSplitForEnergyPrefersCheapMarginalFlops(t *testing.T) {
+	w := units.GFlops(500)
+	i := units.Intensity(0.25)
+	// At I = 0.25 the Titan's dynamic cost is eps_s + 4*eps_mem =
+	// 30.4p + 1068p = ~1.1 nJ/flop vs the Mali's 84.2p + 2072p = ~2.2
+	// nJ/flop: the Titan is the cheaper marginal machine and should fill
+	// first under a loose deadline.
+	loose := units.Time(60)
+	sp, err := SplitForEnergy(heteroPool(), w, i, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Shares[0].Fraction < 0.999 {
+		t.Errorf("loose deadline should give the Titan everything, got %v", sp.Shares[0].Fraction)
+	}
+	// Tight deadline: Titan capacity alone covers only 90% of the work;
+	// the Malis pick up the remainder.
+	titanRate := float64(titan().FlopRateAt(i))
+	tight := units.Time(0.9 * float64(w) / titanRate)
+	sp, err = SplitForEnergy(heteroPool(), w, i, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Shares[1].Fraction <= 0 {
+		t.Error("tight deadline should spill work to the Malis")
+	}
+	// Shares still sum to 1.
+	if s := sp.Shares[0].Fraction + sp.Shares[1].Fraction; math.Abs(s-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", s)
+	}
+	// Impossible deadline errors.
+	if _, err := SplitForEnergy(heteroPool(), w, i, units.Time(1e-9)); err == nil {
+		t.Error("impossible deadline should error")
+	}
+}
+
+func TestSplitForEnergyNeverBeatsPhysics(t *testing.T) {
+	// Energy-optimal with a deadline can never use less dynamic energy
+	// than putting all work on the cheapest machine unconstrained.
+	w := units.GFlops(100)
+	i := units.Intensity(16)
+	sp, err := SplitForEnergy(heteroPool(), w, i, units.Time(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheapDyn := float64(w) * (float64(titan().EpsFlop) + float64(titan().EpsMem)/16)
+	constant := (float64(titan().Pi1) + 8*float64(mali().Pi1)) * 10
+	if float64(sp.Energy) < cheapDyn+constant-1e-6 {
+		t.Error("energy below the physical floor")
+	}
+}
+
+func TestSplitForEnergyErrors(t *testing.T) {
+	if _, err := SplitForEnergy(nil, 1, 1, 1); err == nil {
+		t.Error("empty pool should error")
+	}
+	if _, err := SplitForEnergy(heteroPool(), 0, 1, 1); err == nil {
+		t.Error("zero work should error")
+	}
+	if _, err := SplitForEnergy(heteroPool(), 1, 0, 1); err == nil {
+		t.Error("zero intensity should error")
+	}
+	if _, err := SplitForEnergy(heteroPool(), 1, 1, 0); err == nil {
+		t.Error("zero deadline should error")
+	}
+}
+
+func TestHeteroTimeVsEnergyTradeoff(t *testing.T) {
+	// The time-optimal split finishes sooner; the energy-optimal split
+	// (at the time-optimal makespan as deadline) uses no more energy.
+	w := units.TFlops(0.5)
+	i := units.Intensity(0.5)
+	timeOpt, err := SplitForTime(heteroPool(), w, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energyOpt, err := SplitForEnergy(heteroPool(), w, i, timeOpt.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(energyOpt.Energy) > float64(timeOpt.Energy)*(1+1e-9) {
+		t.Errorf("energy-optimal split (%v J) should not exceed time-optimal (%v J)",
+			energyOpt.Energy, timeOpt.Energy)
+	}
+}

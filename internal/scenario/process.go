@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"errors"
+
+	"archline/internal/machine"
+	"archline/internal/stats"
+)
+
+// ProcessNodeStats extracts the technology-scaling signal latent in
+// Table I: the paper tabulates each processor's process node (45 nm
+// Nehalem down to 22 nm Phi/Ivy Bridge) alongside its fitted per-flop
+// energy. Under Dennard-style scaling, smaller nodes should show lower
+// eps_flop; the rank correlation quantifies how strongly the twelve
+// fitted constants actually follow that expectation despite the
+// architectural confounders (CPU vs GPU vs manycore).
+type ProcessNodeStats struct {
+	// RhoAll is the Spearman rank correlation of (process nm, eps_s)
+	// over every platform with a known node.
+	RhoAll float64
+	// RhoCPU restricts to CPU-style platforms (non-GPU), where the
+	// architectural spread is smaller and the scaling signal cleaner.
+	RhoCPU float64
+	// N and NCPU are the sample sizes.
+	N, NCPU int
+}
+
+// ProcessNodeAnalysis computes the correlations over a platform set.
+func ProcessNodeAnalysis(platforms []*machine.Platform) (*ProcessNodeStats, error) {
+	var nmAll, epsAll, nmCPU, epsCPU []float64
+	for _, p := range platforms {
+		if p.ProcessNM <= 0 {
+			continue
+		}
+		nm := float64(p.ProcessNM)
+		eps := float64(p.Single.EpsFlop)
+		nmAll = append(nmAll, nm)
+		epsAll = append(epsAll, eps)
+		if !p.IsGPU {
+			nmCPU = append(nmCPU, nm)
+			epsCPU = append(epsCPU, eps)
+		}
+	}
+	if len(nmAll) < 3 || len(nmCPU) < 3 {
+		return nil, errors.New("scenario: too few platforms with process data")
+	}
+	rhoAll, err := stats.Spearman(nmAll, epsAll)
+	if err != nil {
+		return nil, err
+	}
+	rhoCPU, err := stats.Spearman(nmCPU, epsCPU)
+	if err != nil {
+		return nil, err
+	}
+	return &ProcessNodeStats{
+		RhoAll: rhoAll, RhoCPU: rhoCPU,
+		N: len(nmAll), NCPU: len(nmCPU),
+	}, nil
+}

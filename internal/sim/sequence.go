@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"errors"
+
+	"archline/internal/powermon"
+	"archline/internal/units"
+)
+
+// SequenceResult is a back-to-back execution of several kernels: one
+// continuous power signal with phase boundaries, as a real benchmark
+// harness produces when it runs its suite under a single recording.
+type SequenceResult struct {
+	Runs []RunResult
+	// Boundaries[k] is the end time of the k-th kernel.
+	Boundaries []units.Time
+	Total      units.Time
+	Signal     powermon.Signal
+}
+
+// RunSequence executes the kernels consecutively and concatenates their
+// power signals, so a single PowerMon recording spans all phases.
+func (s *Simulator) RunSequence(kernels []Kernel) (*SequenceResult, error) {
+	if len(kernels) == 0 {
+		return nil, errors.New("sim: empty kernel sequence")
+	}
+	res := &SequenceResult{}
+	total := 0.0
+	for _, k := range kernels {
+		r, err := s.Run(k)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs = append(res.Runs, r)
+		total += float64(r.TrueTime)
+		res.Boundaries = append(res.Boundaries, units.Time(total))
+	}
+	res.Total = units.Time(total)
+	runs := res.Runs
+	bounds := res.Boundaries
+	res.Signal = func(t units.Time) units.Power {
+		// Find the active phase and delegate to its signal with
+		// phase-local time.
+		prev := units.Time(0)
+		for i, b := range bounds {
+			if t < b || i == len(bounds)-1 {
+				return runs[i].Signal(t - prev)
+			}
+			prev = b
+		}
+		return runs[len(runs)-1].Signal(t - prev)
+	}
+	return res, nil
+}
+
+// MeasureSequence records a kernel sequence with the platform's meter
+// and returns the trace alongside the ground truth.
+func (s *Simulator) MeasureSequence(kernels []Kernel) (*SequenceResult, *powermon.Trace, error) {
+	seq, err := s.RunSequence(kernels)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := s.noiseStream("sequence-meter")
+	tr, err := s.meter.Record(seq.Signal, seq.Total, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq, tr, nil
+}

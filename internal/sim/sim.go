@@ -1,0 +1,535 @@
+// Package sim simulates the execution of microbenchmark kernels on the
+// paper's twelve platforms.
+//
+// The physical machines are unavailable, so this package stands in for
+// them: given a kernel specification (flops per word, precision, working
+// set, access pattern) and a platform, it computes the run's "true" time
+// and power draw from the platform's Table I ground-truth physics — the
+// same first-principles behaviour the paper's model claims governs the
+// hardware: maximal overlap of flops and memory traffic, throughput
+// limits per memory level, and dynamic-power throttling under the usable
+// power cap. On top of that physics it layers what made the paper's
+// measurements interesting: multiplicative timing noise, platform quirks
+// (the NUC GPU's OS-interference variance and cap overshoot, the Arndale
+// GPU's utilisation-dependent efficiency), and a PowerMon-style sampled
+// power measurement (internal/powermon).
+//
+// The output of a simulated run is exactly what the paper's lab setup
+// produced: a (W, Q, time, energy, average power) tuple per kernel, which
+// the fitting (internal/fit) and validation (internal/experiments)
+// pipelines consume unchanged.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"archline/internal/cache"
+	"archline/internal/machine"
+	"archline/internal/model"
+	"archline/internal/powermon"
+	"archline/internal/stats"
+	"archline/internal/units"
+)
+
+// Precision selects single or double floating point.
+type Precision int
+
+// Precisions.
+const (
+	Single Precision = iota
+	Double
+)
+
+// String names the precision.
+func (p Precision) String() string {
+	if p == Double {
+		return "double"
+	}
+	return "single"
+}
+
+// Bytes is the word size of the precision.
+func (p Precision) Bytes() units.Bytes {
+	if p == Double {
+		return 8
+	}
+	return 4
+}
+
+// Pattern selects the access pattern of a kernel.
+type Pattern int
+
+// Patterns.
+const (
+	// StreamPattern reads the working set with unit stride, the pattern
+	// of the intensity and cache microbenchmarks.
+	StreamPattern Pattern = iota
+	// ChasePattern follows a random pointer cycle through the working
+	// set, the paper's random-access microbenchmark.
+	ChasePattern
+	// StridedPattern reads every StrideBytes-th word. Strides at or
+	// beyond the line size waste the rest of each transferred line —
+	// exactly the traffic the paper avoids by "directing" the prefetcher
+	// "into prefetching only the data that will be used".
+	StridedPattern
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case ChasePattern:
+		return "chase"
+	case StridedPattern:
+		return "strided"
+	default:
+		return "stream"
+	}
+}
+
+// Kernel is a microbenchmark specification: the simulated analogue of
+// the paper's hand-tuned assembly/CUDA/OpenCL kernels.
+type Kernel struct {
+	Name         string
+	Precision    Precision
+	Pattern      Pattern
+	FlopsPerWord float64     // flops executed per word loaded (intensity knob)
+	WorkingSet   units.Bytes // bytes of data touched per pass
+	Passes       int         // passes over the working set
+	// StrideBytes is the distance between consecutive accesses for
+	// StridedPattern kernels (ignored otherwise).
+	StrideBytes units.Bytes
+}
+
+// Validate checks the kernel specification.
+func (k Kernel) Validate() error {
+	if k.WorkingSet < k.Precision.Bytes() {
+		return fmt.Errorf("sim: working set %v below one word", k.WorkingSet)
+	}
+	if k.Passes < 1 {
+		return errors.New("sim: passes must be >= 1")
+	}
+	if k.FlopsPerWord < 0 || math.IsNaN(k.FlopsPerWord) || math.IsInf(k.FlopsPerWord, 0) {
+		return errors.New("sim: flops per word must be finite and non-negative")
+	}
+	if k.Pattern == StridedPattern && k.StrideBytes < k.Precision.Bytes() {
+		return errors.New("sim: strided kernels need a stride of at least one word")
+	}
+	return nil
+}
+
+// Intensity is the kernel's nominal operational intensity in flop:Byte,
+// assuming all traffic comes from the target level.
+func (k Kernel) Intensity() units.Intensity {
+	return units.Intensity(k.FlopsPerWord / float64(k.Precision.Bytes()))
+}
+
+// Work returns the flop count the kernel executes.
+func (k Kernel) Work() units.Flops {
+	words := float64(k.WorkingSet) / float64(k.Precision.Bytes())
+	return units.Flops(k.FlopsPerWord * words * float64(k.Passes))
+}
+
+// RunResult is the ground-truth outcome of one simulated run, before the
+// measurement layer samples it.
+type RunResult struct {
+	Kernel   Kernel
+	Platform machine.ID
+	Level    model.MemLevel // the level that served the traffic
+	W        units.Flops
+	Q        units.Bytes    // bytes served by Level
+	Accesses units.Accesses // nonzero for chase kernels
+	TrueTime units.Time
+	TrueDyn  units.Power // true dynamic (above-constant) power during the run
+	// Signal is the instantaneous device power over the run, for the
+	// power meter to sample.
+	Signal powermon.Signal
+}
+
+// Measurement is what the lab bench records for one run: the tuple the
+// fitting pipeline consumes. Time comes from the host clock (noisy),
+// power and energy from the PowerMon trace.
+type Measurement struct {
+	Platform  machine.ID
+	Kernel    string
+	Precision Precision
+	Pattern   Pattern
+	Level     model.MemLevel
+	W         units.Flops
+	Q         units.Bytes
+	Accesses  units.Accesses // random accesses performed (chase kernels)
+	Intensity units.Intensity
+	Time      units.Time
+	Energy    units.Energy
+	AvgPower  units.Power
+}
+
+// Options tune the simulator.
+type Options struct {
+	// Seed drives all noise streams; runs are deterministic per seed.
+	Seed uint64
+	// Noiseless disables measurement noise and quirk variance (quirk
+	// *bias* remains: it is physics, not noise).
+	Noiseless bool
+	// UseCacheSim routes working-set classification through the
+	// set-associative cache simulator instead of the analytic capacity
+	// rule. Slower; used by the fidelity ablation.
+	UseCacheSim bool
+}
+
+// Simulator runs kernels on one platform.
+type Simulator struct {
+	plat  *machine.Platform
+	opts  Options
+	meter *powermon.Meter
+}
+
+// New builds a simulator for the platform.
+func New(p *machine.Platform, opts Options) *Simulator {
+	return &Simulator{plat: p, opts: opts, meter: MeterFor(p)}
+}
+
+// MeterFor selects the paper's fig. 3 probe placement for a platform:
+// PCIe devices get the interposer + PCIe-connector setup, desktop CPUs
+// the CPU+motherboard setup, and boards the DC-brick setup.
+func MeterFor(p *machine.Platform) *powermon.Meter {
+	switch p.Class {
+	case machine.ClassCoprocessor:
+		return powermon.PCIeGPUMeter()
+	case machine.ClassDesktop:
+		return powermon.CPUSystemMeter()
+	default:
+		return powermon.MobileBoardMeter()
+	}
+}
+
+// Platform returns the platform under simulation.
+func (s *Simulator) Platform() *machine.Platform { return s.plat }
+
+// groundParams selects the true physics parameters for the kernel: the
+// platform's fitted constants with the memory side swapped to the level
+// that serves the working set.
+func (s *Simulator) groundParams(k Kernel) (model.Params, model.MemLevel, error) {
+	var base model.Params
+	switch k.Precision {
+	case Single:
+		base = s.plat.Single
+	case Double:
+		d, err := s.plat.DoubleParams()
+		if err != nil {
+			return model.Params{}, 0, err
+		}
+		base = d
+	default:
+		return model.Params{}, 0, fmt.Errorf("sim: unknown precision %d", k.Precision)
+	}
+	level := s.classifyLevel(k)
+	switch level {
+	case model.LevelL1:
+		base.TauMem = s.plat.L1.Tau
+		base.EpsMem = s.plat.L1.Eps
+	case model.LevelL2:
+		base.TauMem = s.plat.L2.Tau
+		base.EpsMem = s.plat.L2.Eps
+	}
+	return base, level, nil
+}
+
+// classifyLevel decides which memory level serves the kernel's working
+// set: analytically by capacity, or via the cache simulator when
+// requested.
+func (s *Simulator) classifyLevel(k Kernel) model.MemLevel {
+	if s.opts.UseCacheSim {
+		if lvl, ok := s.classifyWithCacheSim(k); ok {
+			return lvl
+		}
+	}
+	if s.plat.L1 != nil && k.WorkingSet <= s.plat.L1Size {
+		return model.LevelL1
+	}
+	if s.plat.L2 != nil && k.WorkingSet <= s.plat.L2Size {
+		return model.LevelL2
+	}
+	return model.LevelDRAM
+}
+
+// classifyWithCacheSim replays a bounded version of the kernel's access
+// stream through a simulated L1/L2 hierarchy and picks the level that
+// served the majority of steady-state traffic.
+func (s *Simulator) classifyWithCacheSim(k Kernel) (model.MemLevel, bool) {
+	if s.plat.L1 == nil {
+		return model.LevelDRAM, false
+	}
+	line := int64(s.plat.CacheLine)
+	cfgs := []cache.Config{{
+		Name: "L1", Size: s.plat.L1Size, LineSize: units.Bytes(line), Assoc: 8, Policy: cache.LRU,
+	}}
+	if s.plat.L2 != nil {
+		cfgs = append(cfgs, cache.Config{
+			Name: "L2", Size: s.plat.L2Size, LineSize: units.Bytes(line), Assoc: 8, Policy: cache.LRU,
+		})
+	}
+	h, err := cache.NewHierarchy(cfgs...)
+	if err != nil {
+		return model.LevelDRAM, false
+	}
+	// Bound the replay: cap the working set replay at 1M accesses by
+	// touching at line granularity; the classification only needs the
+	// steady-state residency, not exact counts.
+	ws := int64(k.WorkingSet)
+	if ws > int64(units.MiB(16)) {
+		return model.LevelDRAM, true // far beyond any L2 here
+	}
+	var addrs []uint64
+	switch k.Pattern {
+	case ChasePattern:
+		n := int(ws / line * 2)
+		if n < 1 {
+			n = 1
+		}
+		addrs, err = cache.ChaseAddrs(units.Bytes(ws), units.Bytes(line), n,
+			stats.NewStream(s.opts.Seed, "classify-"+k.Name))
+	default:
+		addrs, err = cache.StreamAddrs(units.Bytes(ws), units.Bytes(line), 2)
+	}
+	if err != nil {
+		return model.LevelDRAM, false
+	}
+	// Warm with the first half of the stream, then measure the second
+	// half: steady-state residency is what decides the serving level.
+	half := len(addrs) / 2
+	if half < 1 {
+		half = len(addrs)
+	}
+	for _, a := range addrs[:half] {
+		h.Access(a)
+	}
+	tr := h.Run(addrs[half:], units.Bytes(line))
+	if len(addrs[half:]) == 0 {
+		tr = h.Run(addrs, units.Bytes(line))
+	}
+	best, bestCount := 0, uint64(0)
+	for d, c := range tr.ServedBy {
+		if c > bestCount {
+			best, bestCount = d, c
+		}
+	}
+	switch {
+	case best == 0:
+		return model.LevelL1, true
+	case best == 1 && s.plat.L2 != nil:
+		return model.LevelL2, true
+	default:
+		return model.LevelDRAM, true
+	}
+}
+
+// Run executes the kernel's ground-truth physics and returns the true
+// time and the power signal for measurement.
+func (s *Simulator) Run(k Kernel) (RunResult, error) {
+	if err := k.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if k.Pattern == ChasePattern {
+		return s.runChase(k)
+	}
+	return s.runStream(k)
+}
+
+// strideFactors returns, for a strided kernel, the fraction of touched
+// words that are useful and the transferred-to-useful byte inflation:
+// strides within a line still consume the whole working set exactly once
+// (streaming), while strides at or beyond the line size transfer a full
+// line per useful word.
+func (s *Simulator) strideFactors(k Kernel) (usefulWords float64, transferred units.Bytes) {
+	stride := float64(k.StrideBytes)
+	line := float64(s.plat.CacheLine)
+	usefulWords = math.Floor(float64(k.WorkingSet) / stride)
+	if usefulWords < 1 {
+		usefulWords = 1
+	}
+	if stride < line {
+		// Every transferred line still gets fully consumed across
+		// successive accesses: effectively streaming traffic.
+		transferred = k.WorkingSet
+	} else {
+		transferred = units.Bytes(usefulWords * line)
+	}
+	return usefulWords, transferred
+}
+
+func (s *Simulator) runStream(k Kernel) (RunResult, error) {
+	params, level, err := s.groundParams(k)
+	if err != nil {
+		return RunResult{}, err
+	}
+	w := k.Work()
+	q := units.Bytes(float64(k.WorkingSet) * float64(k.Passes))
+	if k.Pattern == StridedPattern {
+		usefulWords, transferred := s.strideFactors(k)
+		// Work only covers the touched words; traffic covers the lines
+		// actually moved.
+		w = units.Flops(k.FlopsPerWord * usefulWords * float64(k.Passes))
+		q = units.Bytes(float64(transferred) * float64(k.Passes))
+	}
+
+	trueTime := float64(params.Time(w, q))
+	dynEnergy := float64(w)*float64(params.EpsFlop) + float64(q)*float64(params.EpsMem)
+
+	// Quirks change the physics before noise is added.
+	trueTime, dynEnergy = s.applyQuirks(k, params, trueTime, dynEnergy)
+
+	return s.finish(k, level, w, q, 0, trueTime, dynEnergy)
+}
+
+func (s *Simulator) runChase(k Kernel) (RunResult, error) {
+	if s.plat.Rand == nil {
+		return RunResult{}, fmt.Errorf("sim: %s has no random-access data", s.plat.Name)
+	}
+	if k.Precision == Double && !s.plat.SupportsDouble() {
+		return RunResult{}, fmt.Errorf("sim: %s does not support double", s.plat.Name)
+	}
+	r := *s.plat.Rand
+	lines := math.Floor(float64(k.WorkingSet) / float64(r.Line))
+	if lines < 1 {
+		return RunResult{}, errors.New("sim: working set below one cache line")
+	}
+	n := units.Accesses(lines * float64(k.Passes))
+	t, e, err := r.TimeEnergy(n, s.plat.Single)
+	if err != nil {
+		return RunResult{}, err
+	}
+	dynEnergy := float64(e) - float64(s.plat.Single.Pi1)*float64(t)
+	q := units.Bytes(float64(n) * float64(r.Line))
+	res, err := s.finish(k, model.LevelRand, 0, q, n, float64(t), dynEnergy)
+	return res, err
+}
+
+// applyQuirks adjusts true time and dynamic energy for the platform's
+// documented second-order behaviours.
+func (s *Simulator) applyQuirks(k Kernel, params model.Params, trueTime, dynEnergy float64) (float64, float64) {
+	i := float64(k.Intensity())
+	if s.plat.HasQuirk(machine.QuirkUtilizationScaling) && i > 0 {
+		// Arndale GPU: active energy-efficiency scaling with utilisation.
+		// Near the balance point the hardware is measurably *more*
+		// efficient than the constant-cost model, so the capped model
+		// overpredicts power there by up to ~12% (the paper reports
+		// mispredictions "always less than 15%" at mid-range intensities).
+		// The run still proceeds at the throttled speed (the constant-cost
+		// cap model predicts performance well there), but draws less
+		// dynamic power than the cap while doing so, so measured power at
+		// mid intensities sits below the model's flat cap line, exactly
+		// the fig. 5 Arndale-GPU panel shape.
+		bt := float64(params.TimeBalance())
+		x := math.Log(i / bt)
+		dynEnergy *= 1 - 0.12*math.Exp(-x*x/2)
+	}
+	// QuirkOSInterference (NUC GPU) is pure measurement variance: it is
+	// applied in finish() as a widened noise sigma, not as a physics
+	// change. The platform's published 268 Gflop/s "sustained peak" above
+	// what its 17.7 W fitted cap admits is consistent with that
+	// variance — the paper itself flags the NUC GPU's capping behaviour
+	// as inaccurate and attributes it to OS interference.
+	return trueTime, dynEnergy
+}
+
+// finish layers noise, builds the power signal, and assembles the result.
+func (s *Simulator) finish(k Kernel, level model.MemLevel, w units.Flops, q units.Bytes,
+	acc units.Accesses, trueTime, dynEnergy float64) (RunResult, error) {
+	if trueTime <= 0 || math.IsInf(trueTime, 0) || math.IsNaN(trueTime) {
+		return RunResult{}, fmt.Errorf("sim: degenerate run time %v", trueTime)
+	}
+	rng := stats.NewStream(s.opts.Seed, string(s.plat.ID)+"/"+k.Name)
+	if !s.opts.Noiseless {
+		sigma := 0.008
+		if s.plat.HasQuirk(machine.QuirkOSInterference) {
+			sigma = 0.05 // OS interference: much larger run-to-run variance
+		}
+		trueTime *= rng.LogNormalFactor(sigma)
+	}
+	dynPower := dynEnergy / trueTime
+	pi1 := float64(s.plat.Single.Pi1)
+
+	// The power signal: constant power plus dynamic power, with slow
+	// utilisation wiggle so traces are not perfectly flat.
+	wiggleSeed := rng.Float64() * 2 * math.Pi
+	noiseless := s.opts.Noiseless
+	sig := func(ts units.Time) units.Power {
+		p := pi1 + dynPower
+		if !noiseless {
+			p += 0.01 * dynPower * math.Sin(wiggleSeed+2*math.Pi*float64(ts)*37)
+		}
+		return units.Power(p)
+	}
+	return RunResult{
+		Kernel:   k,
+		Platform: s.plat.ID,
+		Level:    level,
+		W:        w,
+		Q:        q,
+		Accesses: acc,
+		TrueTime: units.Time(trueTime),
+		TrueDyn:  units.Power(dynPower),
+		Signal:   sig,
+	}, nil
+}
+
+// noiseStream builds a deterministic noise stream for a measurement
+// label, or nil when the simulator is noiseless.
+func (s *Simulator) noiseStream(label string) *stats.Stream {
+	if s.opts.Noiseless {
+		return nil
+	}
+	return stats.NewStream(s.opts.Seed^0xabcd, string(s.plat.ID)+"/"+label)
+}
+
+// Measure runs the kernel and records it with the platform's power meter,
+// returning the lab-bench measurement tuple.
+func (s *Simulator) Measure(k Kernel) (Measurement, error) {
+	res, err := s.Run(k)
+	if err != nil {
+		return Measurement{}, err
+	}
+	var rng *stats.Stream
+	if !s.opts.Noiseless {
+		rng = stats.NewStream(s.opts.Seed^0xabcd, string(s.plat.ID)+"/meter/"+k.Name)
+	}
+	trace, err := s.meter.Record(res.Signal, res.TrueTime, rng)
+	if err != nil {
+		return Measurement{}, err
+	}
+	w, q := res.W, res.Q
+	inten := units.Intensity(0)
+	if q > 0 {
+		inten = w.Intensity(q)
+	}
+	return Measurement{
+		Platform:  s.plat.ID,
+		Kernel:    k.Name,
+		Precision: k.Precision,
+		Pattern:   k.Pattern,
+		Level:     res.Level,
+		W:         w,
+		Q:         q,
+		Accesses:  res.Accesses,
+		Intensity: inten,
+		Time:      res.TrueTime,
+		Energy:    trace.Energy(),
+		AvgPower:  trace.AvgPower(),
+	}, nil
+}
+
+// MeasureIdle records the platform idling for the given duration: the
+// no-load baseline of Table I's column 6.
+func (s *Simulator) MeasureIdle(duration units.Time) (units.Power, error) {
+	var rng *stats.Stream
+	if !s.opts.Noiseless {
+		rng = stats.NewStream(s.opts.Seed^0x1d1e, string(s.plat.ID)+"/idle")
+	}
+	trace, err := s.meter.Record(powermon.Constant(s.plat.IdlePower), duration, rng)
+	if err != nil {
+		return 0, err
+	}
+	return trace.AvgPower(), nil
+}

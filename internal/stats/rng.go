@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Stream is a small deterministic pseudo-random stream (SplitMix64 core)
+// used to generate reproducible measurement noise in the hardware
+// simulator. Unlike math/rand's global source, Streams are derived from
+// string labels, so "the noise on platform X, kernel Y" is stable across
+// runs and independent of evaluation order — a property the fitting and
+// statistics tests rely on.
+type Stream struct {
+	state uint64
+	// cached spare normal deviate for the Box-Muller transform
+	spare    float64
+	hasSpare bool
+}
+
+// NewStream derives a deterministic stream from a seed and a label.
+func NewStream(seed uint64, label string) *Stream {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return &Stream{state: seed ^ h.Sum64()}
+}
+
+// next advances the SplitMix64 state and returns 64 pseudo-random bits.
+func (s *Stream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Stream) Uint64() uint64 { return s.next() }
+
+// Float64 returns a uniform deviate in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive bound")
+	}
+	return int(s.next() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal deviate via Box-Muller.
+func (s *Stream) NormFloat64() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	var u, v, r2 float64
+	for {
+		u = 2*s.Float64() - 1
+		v = 2*s.Float64() - 1
+		r2 = u*u + v*v
+		if r2 > 0 && r2 < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(r2) / r2)
+	s.spare = v * f
+	s.hasSpare = true
+	return u * f
+}
+
+// Gaussian returns a normal deviate with the given mean and standard
+// deviation.
+func (s *Stream) Gaussian(mean, sd float64) float64 {
+	return mean + sd*s.NormFloat64()
+}
+
+// LogNormalFactor returns a multiplicative noise factor exp(N(0, sigma)),
+// i.e. 1 on average in log space. Measurement noise on time and energy is
+// naturally multiplicative, and log-normal factors keep the simulated
+// values positive.
+func (s *Stream) LogNormalFactor(sigma float64) float64 {
+	return math.Exp(sigma * s.NormFloat64())
+}
+
+// Shuffle permutes the first n indices, calling swap as sort.Slice would.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

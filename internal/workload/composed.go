@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"archline/internal/model"
+	"archline/internal/units"
+)
+
+// This file composes the primitive kernels into whole applications: a
+// solver iteration is a sequence of phases with different intensities,
+// and its time/energy on a machine is the sum over phases — each phase
+// landing in its own regime of the capped model. This is the "more
+// complex applications" direction the paper's conclusion names as
+// ongoing work.
+
+// AXPY is y = a*x + y over n words: 2 flops per element, three streamed
+// words (two reads, one write).
+func AXPY(n int64, word float64) (Profile, error) {
+	if err := validate(n, word, 1); err != nil {
+		return Profile{}, err
+	}
+	return Profile{
+		Name: "axpy",
+		W:    units.Flops(2 * float64(n)),
+		Q:    units.Bytes(3 * word * float64(n)),
+	}, nil
+}
+
+// App is a composed application: a named sequence of phases executed
+// Iterations times.
+type App struct {
+	Name       string
+	Phases     []Profile
+	Iterations int
+}
+
+// Validate checks the application structure.
+func (a App) Validate() error {
+	if a.Name == "" {
+		return errors.New("workload: app needs a name")
+	}
+	if len(a.Phases) == 0 {
+		return errors.New("workload: app needs at least one phase")
+	}
+	if a.Iterations < 1 {
+		return errors.New("workload: iterations must be >= 1")
+	}
+	return nil
+}
+
+// Total sums the phases over all iterations into one profile. Random
+// accesses accumulate separately.
+func (a App) Total() (Profile, error) {
+	if err := a.Validate(); err != nil {
+		return Profile{}, err
+	}
+	var w, q, r float64
+	for _, p := range a.Phases {
+		w += float64(p.W)
+		q += float64(p.Q)
+		r += float64(p.RandomAccesses)
+	}
+	it := float64(a.Iterations)
+	return Profile{
+		Name:           a.Name,
+		W:              units.Flops(w * it),
+		Q:              units.Bytes(q * it),
+		RandomAccesses: units.Accesses(r * it),
+	}, nil
+}
+
+// AppPlacement is an application evaluated phase-by-phase on a machine.
+type AppPlacement struct {
+	App      App
+	Phases   []Placement // one per phase (single iteration)
+	Time     units.Time  // all iterations
+	Energy   units.Energy
+	AvgPower units.Power
+}
+
+// PlaceApp evaluates each phase with the capped model (random-access
+// phases use rand when available) and totals over iterations. Summing
+// per-phase costs is the right model for phases separated by
+// dependencies — a CG iteration cannot overlap its SpMV with its dots.
+func PlaceApp(a App, m model.Params, rand *model.RandomAccessParams) (AppPlacement, error) {
+	if err := a.Validate(); err != nil {
+		return AppPlacement{}, err
+	}
+	out := AppPlacement{App: a}
+	var t, e float64
+	for _, p := range a.Phases {
+		pl, err := Place(p, m, rand)
+		if err != nil {
+			return AppPlacement{}, fmt.Errorf("workload: phase %s: %w", p.Name, err)
+		}
+		out.Phases = append(out.Phases, pl)
+		t += float64(pl.Time)
+		e += float64(pl.Energy)
+	}
+	it := float64(a.Iterations)
+	out.Time = units.Time(t * it)
+	out.Energy = units.Energy(e * it)
+	out.AvgPower = out.Energy.Over(out.Time)
+	return out, nil
+}
+
+// CG builds one conjugate-gradient solve: per iteration one SpMV, two
+// dots, and three AXPYs over vectors of length n, run for iters
+// iterations. The SpMV dominates traffic, the dots and AXPYs keep it
+// bandwidth-bound — the canonical "memory-bound solver" of the paper's
+// motivation.
+func CG(n, nnz int64, word float64, iters int) (App, error) {
+	spmv, err := SpMV(n, nnz, word)
+	if err != nil {
+		return App{}, err
+	}
+	dot, err := Dot(n, word)
+	if err != nil {
+		return App{}, err
+	}
+	axpy, err := AXPY(n, word)
+	if err != nil {
+		return App{}, err
+	}
+	return App{
+		Name:       "cg",
+		Phases:     []Profile{spmv, dot, dot, axpy, axpy, axpy},
+		Iterations: iters,
+	}, nil
+}
+
+// Jacobi3D builds a Jacobi relaxation: one 7-point stencil sweep per
+// iteration plus a norm (dot) check.
+func Jacobi3D(n int64, word, z float64, iters int) (App, error) {
+	st, err := Stencil7(n, word, z)
+	if err != nil {
+		return App{}, err
+	}
+	norm, err := Dot(n*n*n, word)
+	if err != nil {
+		return App{}, err
+	}
+	return App{
+		Name:       "jacobi3d",
+		Phases:     []Profile{st, norm},
+		Iterations: iters,
+	}, nil
+}
+
+// FFTConv builds an FFT-based convolution: forward transform, pointwise
+// complex multiply (6 flops per point over 3 streamed complex arrays),
+// inverse transform.
+func FFTConv(n int64, word, z float64) (App, error) {
+	fwd, err := FFT(n, word, z)
+	if err != nil {
+		return App{}, err
+	}
+	mul := Profile{
+		Name: "pointwise",
+		W:    units.Flops(6 * float64(n)),
+		Q:    units.Bytes(3 * 2 * word * float64(n)),
+	}
+	return App{
+		Name:       "fftconv",
+		Phases:     []Profile{fwd, mul, fwd},
+		Iterations: 1,
+	}, nil
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"archline/internal/machine"
+	"archline/internal/model"
+	"archline/internal/sim"
+	"archline/internal/units"
+)
+
+func TestAXPY(t *testing.T) {
+	p, err := AXPY(1000, WordSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.W != 2000 || p.Q != 12000 {
+		t.Errorf("axpy W=%v Q=%v", p.W, p.Q)
+	}
+	if _, err := AXPY(0, 4); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestAppValidate(t *testing.T) {
+	dot, _ := Dot(100, 4)
+	good := App{Name: "x", Phases: []Profile{dot}, Iterations: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Error("empty name should be rejected")
+	}
+	bad = good
+	bad.Phases = nil
+	if bad.Validate() == nil {
+		t.Error("no phases should be rejected")
+	}
+	bad = good
+	bad.Iterations = 0
+	if bad.Validate() == nil {
+		t.Error("zero iterations should be rejected")
+	}
+	if _, err := bad.Total(); err == nil {
+		t.Error("Total should validate")
+	}
+	if _, err := PlaceApp(bad, machine.MustByID(machine.GTXTitan).Single, nil); err == nil {
+		t.Error("PlaceApp should validate")
+	}
+}
+
+func TestCGComposition(t *testing.T) {
+	app, err := CG(1<<20, 1<<24, WordSingle, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Phases) != 6 {
+		t.Fatalf("CG iteration has %d phases, want 6", len(app.Phases))
+	}
+	total, err := app.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work: 10 x (2 nnz + 2*2n + 3*2n) flops.
+	wantW := 10.0 * (2*float64(1<<24) + 10*float64(1<<20))
+	if math.Abs(float64(total.W)-wantW) > 1e-6*wantW {
+		t.Errorf("CG W = %v, want %v", total.W, wantW)
+	}
+	// CG is memory-bound: total intensity well below 1 flop:Byte in SP.
+	if i := float64(total.Intensity()); i > 0.5 {
+		t.Errorf("CG intensity %v, want bandwidth-bound", i)
+	}
+	if _, err := CG(100, 50, WordSingle, 1); err == nil {
+		t.Error("bad SpMV args should propagate")
+	}
+}
+
+func TestPlaceAppCG(t *testing.T) {
+	titan := machine.MustByID(machine.GTXTitan)
+	app, _ := CG(1<<22, 1<<26, WordSingle, 5)
+	pl, err := PlaceApp(app, titan.Single, titan.Rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Phases) != 6 {
+		t.Fatal("per-phase breakdown missing")
+	}
+	// Every CG phase on the Titan is memory-bound.
+	for _, ph := range pl.Phases {
+		if ph.Regime != model.MemoryBound {
+			t.Errorf("phase %s regime %v, want memory-bound", ph.Profile.Name, ph.Regime)
+		}
+	}
+	// Total time is iterations x sum of phases.
+	var sum float64
+	for _, ph := range pl.Phases {
+		sum += float64(ph.Time)
+	}
+	if math.Abs(float64(pl.Time)-5*sum) > 1e-9*float64(pl.Time) {
+		t.Error("app time should be iterations x phase sum")
+	}
+	// E = P*T.
+	if math.Abs(float64(pl.AvgPower)*float64(pl.Time)-float64(pl.Energy)) > 1e-9*float64(pl.Energy) {
+		t.Error("E = P*T consistency")
+	}
+	// Summing phases is costlier than (hypothetically) running the fused
+	// total with full overlap: the composed model charges dependencies.
+	tot, _ := app.Total()
+	fused := titan.Single.Predict(tot.W, tot.Q)
+	if float64(pl.Time) < float64(fused.Time)*(1-1e-12) {
+		t.Error("phase-sequential time cannot beat fully-overlapped time")
+	}
+}
+
+func TestJacobi3D(t *testing.T) {
+	app, err := Jacobi3D(128, WordSingle, float64(units.MiB(1)), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot, err := app.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.W <= 0 || tot.Q <= 0 {
+		t.Error("degenerate totals")
+	}
+	if _, err := Jacobi3D(0, 4, 1024, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestFFTConv(t *testing.T) {
+	app, err := FFTConv(1<<24, WordSingle, float64(units.MiB(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Phases) != 3 {
+		t.Fatal("fftconv should have forward, pointwise, inverse")
+	}
+	tot, _ := app.Total()
+	// Dominated by the two transforms: intensity in the FFT band.
+	if i := float64(tot.Intensity()); i < 1 || i > 6 {
+		t.Errorf("fftconv intensity %v", i)
+	}
+	if _, err := FFTConv(1024, WordSingle, 4); err == nil {
+		t.Error("tiny Z should propagate")
+	}
+}
+
+func TestPlaceAppWithRandomPhase(t *testing.T) {
+	titan := machine.MustByID(machine.GTXTitan)
+	bfs, _ := BFS(1<<18, 1<<22, float64(titan.Rand.Line))
+	dot, _ := Dot(1<<18, WordSingle)
+	app := App{Name: "graph+score", Phases: []Profile{bfs, dot}, Iterations: 3}
+	pl, err := PlaceApp(app, titan.Single, titan.Rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The BFS phase dominates: random access is an order of magnitude
+	// more expensive per byte.
+	if pl.Phases[0].Energy < pl.Phases[1].Energy {
+		t.Error("BFS phase should dominate energy")
+	}
+}
+
+// TestWorkloadModelAgreesWithSimulator closes the loop between the
+// abstract workload profiles and the hardware simulator: a CG
+// iteration's phases, run as explicit streaming kernels on the simulated
+// Titan, must land on the same time and energy the capped model predicts
+// for the workload profile.
+func TestWorkloadModelAgreesWithSimulator(t *testing.T) {
+	plat := machine.MustByID(machine.GTXTitan)
+	s := sim.New(plat, sim.Options{Seed: 3, Noiseless: true})
+
+	app, err := CG(1<<22, 1<<26, WordSingle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := PlaceApp(app, plat.Single, plat.Rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simTime, simEnergy float64
+	for i, phase := range app.Phases {
+		// Express the phase as a streaming kernel with matching W and Q:
+		// one pass over Q bytes at fpw = W/(Q/word).
+		words := float64(phase.Q) / WordSingle
+		k := sim.Kernel{
+			Name:         fmt.Sprintf("cg-phase-%d", i),
+			Precision:    sim.Single,
+			Pattern:      sim.StreamPattern,
+			FlopsPerWord: float64(phase.W) / words,
+			WorkingSet:   phase.Q,
+			Passes:       1,
+		}
+		m, err := s.Measure(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simTime += float64(m.Time)
+		simEnergy += float64(m.Energy)
+	}
+	if math.Abs(simTime-float64(pl.Time)) > 1e-6*float64(pl.Time) {
+		t.Errorf("sim time %v vs model %v", simTime, pl.Time)
+	}
+	if math.Abs(simEnergy-float64(pl.Energy)) > 1e-3*float64(pl.Energy) {
+		t.Errorf("sim energy %v vs model %v", simEnergy, pl.Energy)
+	}
+}

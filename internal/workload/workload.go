@@ -1,0 +1,247 @@
+// Package workload models the abstract algorithms the paper reasons
+// about: each algorithm is characterized by its work W(n), its memory
+// traffic Q(n; Z) given a fast-memory capacity Z, and hence its
+// operational intensity I = W/Q — the x-coordinate at which it lands on
+// every roofline in the paper.
+//
+// The paper's running examples are sparse matrix-vector multiply
+// ("roughly 0.25-0.5 flop:Byte in single-precision") and the large FFT
+// ("2-4 flop:Byte"), used to read fig. 1; this package provides those
+// plus the other standard kernels of the roofline literature so the
+// examples and experiments can place real algorithms on the models.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"archline/internal/model"
+	"archline/internal/units"
+)
+
+// Profile is an algorithm instance's abstract cost.
+type Profile struct {
+	Name string
+	W    units.Flops // arithmetic operations (or the algorithm's natural op)
+	Q    units.Bytes // slow-fast memory traffic
+	// RandomAccesses is nonzero for irregular algorithms whose traffic is
+	// pointer chasing rather than streaming (BFS); such algorithms are
+	// costed with eps_rand rather than eps_mem.
+	RandomAccesses units.Accesses
+}
+
+// Intensity is W/Q.
+func (p Profile) Intensity() units.Intensity { return p.W.Intensity(p.Q) }
+
+// Common word sizes.
+const (
+	WordSingle = 4 // bytes per single-precision value
+	WordDouble = 8 // bytes per double-precision value
+	WordIndex  = 4 // bytes per 32-bit index
+)
+
+// validate checks shared constraints.
+func validate(n int64, word, z float64) error {
+	if n <= 0 {
+		return errors.New("workload: n must be positive")
+	}
+	if word != WordSingle && word != WordDouble {
+		return fmt.Errorf("workload: word size %v must be 4 or 8", word)
+	}
+	if z <= 0 {
+		return errors.New("workload: fast memory capacity must be positive")
+	}
+	return nil
+}
+
+// StreamTriad is the STREAM triad a[i] = b[i] + s*c[i]: 2 flops per
+// element against three streamed words (two reads, one write).
+func StreamTriad(n int64, word float64) (Profile, error) {
+	if err := validate(n, word, 1); err != nil {
+		return Profile{}, err
+	}
+	return Profile{
+		Name: "stream-triad",
+		W:    units.Flops(2 * float64(n)),
+		Q:    units.Bytes(3 * word * float64(n)),
+	}, nil
+}
+
+// Dot is the inner product of two n-vectors: 2 flops per element, two
+// streamed words.
+func Dot(n int64, word float64) (Profile, error) {
+	if err := validate(n, word, 1); err != nil {
+		return Profile{}, err
+	}
+	return Profile{
+		Name: "dot",
+		W:    units.Flops(2 * float64(n)),
+		Q:    units.Bytes(2 * word * float64(n)),
+	}, nil
+}
+
+// SpMV is sparse matrix-vector multiply in CSR with nnz nonzeros: 2 flops
+// per nonzero; each nonzero streams a value and a column index, and the
+// source/destination vectors stream once. With 4-byte values the
+// intensity lands in the paper's quoted 0.25-0.5 flop:Byte band
+// (approaching 0.25 as nnz/n grows).
+func SpMV(n, nnz int64, word float64) (Profile, error) {
+	if err := validate(n, word, 1); err != nil {
+		return Profile{}, err
+	}
+	if nnz < n {
+		return Profile{}, errors.New("workload: nnz must be at least n")
+	}
+	matrix := float64(nnz) * (word + WordIndex)
+	vectors := 2 * float64(n) * word
+	rows := float64(n) * WordIndex // row pointers
+	return Profile{
+		Name: "spmv",
+		W:    units.Flops(2 * float64(nnz)),
+		Q:    units.Bytes(matrix + vectors + rows),
+	}, nil
+}
+
+// FFT is a large out-of-core complex-to-complex FFT of n points: W =
+// 5 n log2 n flops. When the transform exceeds fast memory it proceeds in
+// passes, each streaming the whole dataset (2 words per complex point,
+// read+write), with ceil(log2 n / log2 (Z/(2 word))) passes — the
+// standard two-level-memory FFT bound. Large single-precision transforms
+// land in the paper's 2-4 flop:Byte band.
+func FFT(n int64, word, z float64) (Profile, error) {
+	if err := validate(n, word, z); err != nil {
+		return Profile{}, err
+	}
+	pointBytes := 2 * word // complex
+	pointsInFast := z / pointBytes
+	if pointsInFast < 2 {
+		return Profile{}, errors.New("workload: fast memory too small for FFT radix")
+	}
+	passes := math.Ceil(math.Log2(float64(n)) / math.Log2(pointsInFast))
+	if passes < 1 {
+		passes = 1
+	}
+	perPass := 2 * float64(n) * pointBytes // read + write each point
+	return Profile{
+		Name: "fft",
+		W:    units.Flops(5 * float64(n) * math.Log2(float64(n))),
+		Q:    units.Bytes(passes * perPass),
+	}, nil
+}
+
+// MatMul is dense n x n matrix multiply, cache-blocked: W = 2 n^3 and the
+// classic blocked traffic bound Q ~ 2 n^3 word / sqrt(Z/ (3 word)) + 3 n^2
+// word (compulsory). Its intensity grows with sqrt(Z), making it the
+// canonical compute-bound workload.
+func MatMul(n int64, word, z float64) (Profile, error) {
+	if err := validate(n, word, z); err != nil {
+		return Profile{}, err
+	}
+	block := math.Sqrt(z / (3 * word)) // b x b tiles of three operands
+	if block < 1 {
+		return Profile{}, errors.New("workload: fast memory too small for blocking")
+	}
+	nf := float64(n)
+	traffic := 2*nf*nf*nf*word/block + 3*nf*nf*word
+	return Profile{
+		Name: "matmul",
+		W:    units.Flops(2 * nf * nf * nf),
+		Q:    units.Bytes(traffic),
+	}, nil
+}
+
+// Stencil is an out-of-place 7-point 3D stencil over an n^3 grid: 8 flops
+// per point; with plane-blocking the grid streams in and out once per
+// sweep when three planes fit in fast memory.
+func Stencil7(n int64, word, z float64) (Profile, error) {
+	if err := validate(n, word, z); err != nil {
+		return Profile{}, err
+	}
+	nf := float64(n)
+	planes := 3 * nf * nf * word
+	traffic := 2 * nf * nf * nf * word // read + write each point
+	if planes > z {
+		// Planes do not fit: each point additionally re-reads its
+		// vertical neighbours.
+		traffic += 2 * nf * nf * nf * word
+	}
+	return Profile{
+		Name: "stencil7",
+		W:    units.Flops(8 * nf * nf * nf),
+		Q:    units.Bytes(traffic),
+	}, nil
+}
+
+// MergeSort is an out-of-core merge sort of n keys, counted in the
+// algorithm's natural unit (comparisons, per the paper's footnote that
+// one may substitute "comparisons for sorting"): n log2 n comparisons,
+// and each of the log_{Z/word}(n/ (Z/word)) merge passes streams the data
+// in and out.
+func MergeSort(n int64, word, z float64) (Profile, error) {
+	if err := validate(n, word, z); err != nil {
+		return Profile{}, err
+	}
+	keysInFast := z / word
+	if keysInFast < 2 {
+		return Profile{}, errors.New("workload: fast memory too small to sort")
+	}
+	passes := math.Ceil(math.Log2(float64(n)) / math.Log2(keysInFast))
+	if passes < 1 {
+		passes = 1
+	}
+	return Profile{
+		Name: "mergesort",
+		W:    units.Flops(float64(n) * math.Log2(float64(n))), // comparisons
+		Q:    units.Bytes(passes * 2 * float64(n) * word),
+	}, nil
+}
+
+// BFS is breadth-first search over a graph with n vertices and m edges in
+// CSR: each edge traversal is one near-random access into the visited/
+// distance arrays ("edges traversed" is the natural op). Traffic is
+// dominated by random accesses, so BFS is costed against eps_rand.
+func BFS(n, m int64, lineBytes float64) (Profile, error) {
+	if n <= 0 || m <= 0 {
+		return Profile{}, errors.New("workload: vertices and edges must be positive")
+	}
+	if lineBytes <= 0 {
+		return Profile{}, errors.New("workload: line size must be positive")
+	}
+	return Profile{
+		Name:           "bfs",
+		W:              units.Flops(m), // edges traversed
+		Q:              units.Bytes(float64(m) * lineBytes),
+		RandomAccesses: units.Accesses(m),
+	}, nil
+}
+
+// Placement is a workload evaluated on a machine.
+type Placement struct {
+	Profile  Profile
+	Time     units.Time
+	Energy   units.Energy
+	AvgPower units.Power
+	Regime   model.Regime
+}
+
+// Place evaluates the profile on a machine with the capped model. For
+// random-access profiles, the time/energy come from the machine's random
+// access mode when provided (rand may be nil to fall back to streaming).
+func Place(p Profile, m model.Params, rand *model.RandomAccessParams) (Placement, error) {
+	if p.RandomAccesses > 0 && rand != nil {
+		t, e, err := rand.TimeEnergy(p.RandomAccesses, m)
+		if err != nil {
+			return Placement{}, err
+		}
+		return Placement{
+			Profile: p, Time: t, Energy: e,
+			AvgPower: e.Over(t), Regime: model.CapBound,
+		}, nil
+	}
+	pred := m.Predict(p.W, p.Q)
+	return Placement{
+		Profile: p, Time: pred.Time, Energy: pred.Energy,
+		AvgPower: pred.AvgPower, Regime: pred.Regime,
+	}, nil
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"archline/internal/machine"
+	"archline/internal/model"
+	"archline/internal/units"
+)
+
+func TestStreamTriad(t *testing.T) {
+	p, err := StreamTriad(1000, WordSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.W != 2000 || p.Q != 12000 {
+		t.Errorf("triad W=%v Q=%v", p.W, p.Q)
+	}
+	if math.Abs(float64(p.Intensity())-1.0/6) > 1e-12 {
+		t.Errorf("triad intensity %v, want 1/6", p.Intensity())
+	}
+	if _, err := StreamTriad(0, 4); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := StreamTriad(10, 3); err == nil {
+		t.Error("bad word size should error")
+	}
+}
+
+func TestDot(t *testing.T) {
+	p, err := Dot(1<<20, WordDouble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(p.Intensity())-0.125) > 1e-12 {
+		t.Errorf("double dot intensity %v, want 1/8", p.Intensity())
+	}
+}
+
+func TestSpMVIntensityBand(t *testing.T) {
+	// The paper: large SP SpMV is roughly 0.25-0.5 flop:Byte.
+	for _, nnzPerRow := range []int64{5, 20, 100} {
+		n := int64(1 << 20)
+		p, err := SpMV(n, n*nnzPerRow, WordSingle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := float64(p.Intensity())
+		if i < 0.15 || i > 0.5 {
+			t.Errorf("SpMV nnz/row=%d intensity %v outside the paper's band", nnzPerRow, i)
+		}
+	}
+	if _, err := SpMV(100, 50, WordSingle); err == nil {
+		t.Error("nnz < n should error")
+	}
+}
+
+func TestFFTIntensityBand(t *testing.T) {
+	// The paper: a large SP FFT is 2-4 flop:Byte.
+	z := float64(units.MiB(1))
+	for _, logN := range []int{24, 26, 28} {
+		p, err := FFT(1<<logN, WordSingle, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := float64(p.Intensity())
+		if i < 2 || i > 6 {
+			t.Errorf("FFT 2^%d intensity %v, paper band 2-4", logN, i)
+		}
+	}
+	// Tiny fast memory rejected.
+	if _, err := FFT(1024, WordSingle, 4); err == nil {
+		t.Error("tiny Z should error")
+	}
+	// In-core FFT: single pass.
+	small, err := FFT(1024, WordSingle, float64(units.MiB(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(small.Q) != 2*1024*8 {
+		t.Errorf("in-core FFT should stream once, Q=%v", small.Q)
+	}
+}
+
+func TestMatMulIntensityGrowsWithCache(t *testing.T) {
+	small, err := MatMul(2048, WordSingle, float64(units.KiB(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MatMul(2048, WordSingle, float64(units.MiB(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Intensity() <= small.Intensity() {
+		t.Error("matmul intensity should grow with fast-memory capacity")
+	}
+	if small.W != units.Flops(2*2048.0*2048*2048) {
+		t.Error("matmul work")
+	}
+	if _, err := MatMul(128, WordSingle, 8); err == nil {
+		t.Error("tiny Z should error")
+	}
+}
+
+func TestStencil7(t *testing.T) {
+	// Planes fit: streams once.
+	p, err := Stencil7(128, WordSingle, float64(units.MiB(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ := 2.0 * 128 * 128 * 128 * 4
+	if float64(p.Q) != wantQ {
+		t.Errorf("blocked stencil Q=%v want %v", p.Q, wantQ)
+	}
+	if float64(p.Intensity()) != 1.0 {
+		t.Errorf("blocked SP stencil intensity %v, want 1", p.Intensity())
+	}
+	// Planes do not fit: extra traffic halves intensity.
+	p2, err := Stencil7(1024, WordSingle, float64(units.KiB(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Intensity() >= p.Intensity() {
+		t.Error("unblocked stencil should have lower intensity")
+	}
+}
+
+func TestMergeSort(t *testing.T) {
+	p, err := MergeSort(1<<24, WordSingle, float64(units.MiB(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.W != units.Flops((1<<24)*24) {
+		t.Errorf("comparisons = %v", p.W)
+	}
+	// 2^24 keys, 2^18 fit: 24/18 -> 2 passes, each 2*n*word.
+	if p.Q != units.Bytes(2*2*float64(1<<24)*4) {
+		t.Errorf("sort traffic = %v", p.Q)
+	}
+	if _, err := MergeSort(100, WordSingle, 4); err == nil {
+		t.Error("tiny Z should error")
+	}
+}
+
+func TestBFS(t *testing.T) {
+	p, err := BFS(1<<20, 1<<24, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RandomAccesses != 1<<24 || p.W != 1<<24 {
+		t.Error("BFS edge accounting")
+	}
+	if _, err := BFS(0, 1, 64); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := BFS(1, 0, 64); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := BFS(1, 1, 0); err == nil {
+		t.Error("line=0 should error")
+	}
+}
+
+func TestPlaceStreaming(t *testing.T) {
+	titan := machine.MustByID(machine.GTXTitan)
+	p, _ := SpMV(1<<22, 1<<26, WordSingle)
+	pl, err := Place(p, titan.Single, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Time <= 0 || pl.Energy <= 0 {
+		t.Error("placement should produce positive costs")
+	}
+	// SpMV on Titan is memory-bound.
+	if pl.Regime != model.MemoryBound {
+		t.Errorf("SpMV regime %v, want memory-bound", pl.Regime)
+	}
+	// Placement consistency with the model.
+	want := titan.Single.Predict(p.W, p.Q)
+	if pl.Time != want.Time || pl.Energy != want.Energy {
+		t.Error("placement should match Predict")
+	}
+}
+
+func TestPlaceRandom(t *testing.T) {
+	titan := machine.MustByID(machine.GTXTitan)
+	p, _ := BFS(1<<20, 1<<24, float64(titan.Rand.Line))
+	pl, err := Place(p, titan.Single, titan.Rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Costed at the chase rate.
+	wantT := float64(p.RandomAccesses) / float64(titan.Rand.Rate)
+	if math.Abs(float64(pl.Time)-wantT) > 1e-9*wantT {
+		t.Errorf("BFS time %v, want %v", pl.Time, wantT)
+	}
+	// Without rand params it falls back to streaming cost.
+	pl2, err := Place(p, titan.Single, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2.Time >= pl.Time {
+		t.Error("streaming fallback should be (unrealistically) faster than chasing")
+	}
+}
+
+func TestPaperFig1Reading(t *testing.T) {
+	// The paper reads fig. 1 as: SpMV (0.25-0.5) and large FFT (2-4) both
+	// fall where the Arndale GPU matches the Titan in energy efficiency.
+	titan := machine.MustByID(machine.GTXTitan).Single
+	arndale := machine.MustByID(machine.ArndaleGPU).Single
+	spmv, _ := SpMV(1<<22, 1<<25, WordSingle)
+	fftP, _ := FFT(1<<26, WordSingle, float64(units.MiB(1)))
+	for _, p := range []Profile{spmv, fftP} {
+		i := p.Intensity()
+		ratio := float64(arndale.FlopsPerJouleAt(i)) / float64(titan.FlopsPerJouleAt(i))
+		if ratio < 0.8 {
+			t.Errorf("%s (I=%v): Arndale/Titan energy efficiency %v, paper says comparable",
+				p.Name, i, ratio)
+		}
+	}
+}
