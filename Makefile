@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race vet lint check ci fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+## lint runs the in-repo static-analysis suite (cmd/archlint):
+## unit-safety, float comparisons, map-order determinism, dropped
+## errors, and goroutine hygiene. Exits nonzero on any unsuppressed
+## finding.
+lint:
+	$(GO) run ./cmd/archlint ./...
+
+## check is the full pre-merge gate.
+check: build vet race lint
+
+## ci is check with caching disabled and a per-analyzer lint summary.
+ci:
+	./scripts/ci.sh
+
+fmt:
+	gofmt -w .

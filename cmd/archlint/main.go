@@ -1,0 +1,115 @@
+// Command archlint runs archline's in-repo static-analysis suite: five
+// analyzers (unitsafety, floatcmp, maporder, errdrop, ctxgoroutine)
+// that enforce the unit-safety, determinism, and concurrency-hygiene
+// discipline the energy-model reproduction depends on. It is built
+// entirely on the standard library's go/ast, go/parser, go/types, and
+// go/importer packages.
+//
+// Usage:
+//
+//	archlint [-json] [-all] [-fix] [-summary] [-enable a,b] [-disable c] [packages]
+//
+// Findings are suppressed inline with a mandatory reason:
+//
+//	//archlint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above. Exit status: 0 when every
+// finding is fixed or suppressed, 1 when unsuppressed findings remain,
+// 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"archline/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		all     = flag.Bool("all", false, "also list suppressed diagnostics")
+		fix     = flag.Bool("fix", false, "apply analyzer-provided fixes to the source files")
+		summary = flag.Bool("summary", false, "print per-analyzer finding counts to stderr")
+		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated analyzers to skip")
+		list    = flag.Bool("analyzers", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cfg := lint.Config{
+		Patterns: flag.Args(),
+		Enable:   splitList(*enable),
+		Disable:  splitList(*disable),
+		Fix:      *fix,
+	}
+	res, err := lint.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "archlint:", err)
+		os.Exit(2)
+	}
+
+	shown := res.Unsuppressed()
+	if *all {
+		shown = res.Diags
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if shown == nil {
+			shown = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(shown); err != nil {
+			fmt.Fprintln(os.Stderr, "archlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range shown {
+			suffix := ""
+			if d.Suppressed {
+				suffix = " (suppressed: " + d.Reason + ")"
+			}
+			fmt.Println(d.String() + suffix)
+		}
+	}
+	for _, f := range res.FixedFiles {
+		fmt.Fprintln(os.Stderr, "archlint: fixed", f)
+	}
+	if *summary {
+		rows := res.Summary()
+		if len(rows) == 0 {
+			fmt.Fprintln(os.Stderr, "archlint: no findings")
+		}
+		for _, row := range rows {
+			fmt.Fprintf(os.Stderr, "archlint: %-14s %3d finding(s), %d suppressed\n",
+				row.Analyzer, row.Total, row.Suppressed)
+		}
+	}
+	if len(res.Unsuppressed()) > 0 {
+		os.Exit(1)
+	}
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -57,12 +57,12 @@ func run(id machine.ID, seed uint64, points int, noiseless, asCSV bool) error {
 		for _, m := range res.Measurements {
 			rec := []string{
 				m.Kernel, m.Precision.String(), m.Pattern.String(), m.Level.String(),
-				strconv.FormatFloat(float64(m.W), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.Q), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.Intensity), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.Time), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.Energy), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.AvgPower), 'g', -1, 64),
+				strconv.FormatFloat(m.W.Count(), 'g', -1, 64),
+				strconv.FormatFloat(m.Q.Count(), 'g', -1, 64),
+				strconv.FormatFloat(m.Intensity.Ratio(), 'g', -1, 64),
+				strconv.FormatFloat(m.Time.Seconds(), 'g', -1, 64),
+				strconv.FormatFloat(m.Energy.Joules(), 'g', -1, 64),
+				strconv.FormatFloat(m.AvgPower.Watts(), 'g', -1, 64),
 			}
 			if err := w.Write(rec); err != nil {
 				return err

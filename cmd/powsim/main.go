@@ -60,7 +60,7 @@ func runPhases(id machine.ID, seed uint64) error {
 			WorkingSet: units.MiB(64), Passes: passCount(plat, 4096)},
 	}
 	if plat.Rand != nil {
-		accesses := float64(units.MiB(256)) / float64(plat.Rand.Line)
+		accesses := units.MiB(256).Count() / plat.Rand.Line.Count()
 		per := accesses / float64(plat.Rand.Rate)
 		n := int(0.25/per) + 1
 		kernels = append(kernels, sim.Kernel{
@@ -86,7 +86,7 @@ func runPhases(id machine.ID, seed uint64) error {
 	for i, run := range seq.Runs {
 		fmt.Printf("  %d. %-14s %8s  %s\n", i+1, run.Kernel.Name,
 			units.FormatTime(run.TrueTime),
-			units.FormatPower(units.Power(float64(plat.Single.Pi1)+float64(run.TrueDyn))))
+			units.FormatPower(units.Power(plat.Single.Pi1.Watts()+run.TrueDyn.Watts())))
 	}
 	fmt.Println("detected from the trace:")
 	for i, ph := range detected {
@@ -100,9 +100,9 @@ func runPhases(id machine.ID, seed uint64) error {
 // passCount sizes a streaming kernel to ~0.3 s on the platform.
 func passCount(plat *machine.Platform, fpw float64) int {
 	p := plat.Single
-	words := float64(units.MiB(64)) / 4
+	words := units.MiB(64).Count() / 4
 	per := fpw * words * float64(p.TauFlop)
-	if mem := float64(units.MiB(64)) * float64(p.TauMem); mem > per {
+	if mem := units.MiB(64).Count() * float64(p.TauMem); mem > per {
 		per = mem
 	}
 	n := int(0.3/per) + 1
@@ -137,7 +137,7 @@ func run(id machine.ID, fpw float64, wsSpec string, passes int, seed uint64, cha
 		if err != nil {
 			return err
 		}
-		if per := float64(res.TrueTime); per < 0.25 {
+		if per := res.TrueTime.Seconds(); per < 0.25 {
 			k.Passes = int(0.25/per) + 1
 		}
 	}

@@ -50,8 +50,8 @@ func main() {
 			check(err)
 			entries = append(entries, entry{
 				name: p.Name,
-				eff:  float64(w.W) / float64(pl.Energy),
-				rate: float64(w.W) / float64(pl.Time),
+				eff:  w.W.Count() / pl.Energy.Joules(),
+				rate: w.W.Count() / pl.Time.Seconds(),
 			})
 		}
 		sort.Slice(entries, func(i, j int) bool { return entries[i].eff > entries[j].eff })
@@ -80,11 +80,11 @@ func main() {
 		if p.Rand == nil {
 			continue
 		}
-		bfs, err := archline.BFS(1<<20, 1<<26, float64(p.Rand.Line))
+		bfs, err := archline.BFS(1<<20, 1<<26, p.Rand.Line.Count())
 		check(err)
 		pl, err := archline.PlaceWorkload(bfs, p.Single, p.Rand)
 		check(err)
-		entries = append(entries, entry{p.Name, float64(bfs.W) / float64(pl.Energy)})
+		entries = append(entries, entry{p.Name, bfs.W.Count() / pl.Energy.Joules()})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].perJ > entries[j].perJ })
 	for rank, e := range entries {

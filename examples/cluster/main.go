@@ -45,7 +45,7 @@ func main() {
 	// The Titan baseline runs it monolithically.
 	base := titan.Single.Predict(total.W, total.Q)
 	fmt.Printf("Titan baseline: %.1f ms, %.2f J per iteration\n\n",
-		1e3*float64(base.Time), float64(base.Energy))
+		1e3*base.Time.Seconds(), float64(base.Energy))
 
 	for _, nw := range networks {
 		cl := &archline.Cluster{Node: mali.Single, Nodes: nodes, Net: nw.net, Overlap: true}
@@ -58,17 +58,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		speedup := float64(base.Time) / float64(pred.Time)
-		energyRatio := float64(base.Energy) / float64(pred.Energy)
+		speedup := base.Time.Seconds() / pred.Time.Seconds()
+		energyRatio := base.Energy.Joules() / pred.Energy.Joules()
 		bound := "node-bound"
 		if pred.NetworkBound {
 			bound = "NETWORK-bound"
 		}
 		fmt.Printf("%-32s  %.1f ms (%.2fx vs Titan), %.2f J (%.2fx), const %s, %s\n",
 			nw.name,
-			1e3*float64(pred.Time), speedup,
+			1e3*pred.Time.Seconds(), speedup,
 			float64(pred.Energy), energyRatio,
-			fmtW(float64(cl.ConstantPower())), bound)
+			fmtW(cl.ConstantPower().Watts()), bound)
 	}
 
 	fmt.Println("\nthe paper's caveat: with the network charged, the aggregate improves on")

@@ -51,8 +51,8 @@ func main() {
 	row("1/tau_m", 1/float64(pf.Params.TauMem), float64(plat.Sustained.MemBW), "B/s")
 	row("eps_s", float64(pf.Params.EpsFlop)*1e12, float64(plat.Single.EpsFlop)*1e12, "pJ/flop")
 	row("eps_mem", float64(pf.Params.EpsMem)*1e12, float64(plat.Single.EpsMem)*1e12, "pJ/B")
-	row("pi_1", float64(pf.Params.Pi1), float64(plat.Single.Pi1), "W")
-	row("delta_pi", float64(pf.Params.DeltaPi), float64(plat.Single.DeltaPi), "W")
+	row("pi_1", pf.Params.Pi1.Watts(), plat.Single.Pi1.Watts(), "W")
+	row("delta_pi", pf.Params.DeltaPi.Watts(), plat.Single.DeltaPi.Watts(), "W")
 	if plat.SupportsDouble() {
 		row("eps_d", float64(pf.DoubleEps)*1e12, float64(plat.DoubleEps)*1e12, "pJ/flop")
 	}
@@ -68,7 +68,7 @@ func main() {
 	fmt.Printf("\nfit RMS log-residual: %.4f\n", pf.Residual)
 
 	// Validate the recovered model: predict a workload it never saw.
-	fftW, err := archline.FFT(1<<26, 4, float64(plat.L2Size))
+	fftW, err := archline.FFT(1<<26, 4, plat.L2Size.Count())
 	if err != nil {
 		log.Fatal(err)
 	}

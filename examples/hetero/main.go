@@ -22,7 +22,7 @@ func main() {
 	work := archline.Flops(2e12)
 
 	fmt.Println("pool: 1x GTX Titan + 16x Arndale GPU")
-	fmt.Printf("work: %.0f Gflop\n\n", float64(work)/1e9)
+	fmt.Printf("work: %.0f Gflop\n\n", work.Count()/1e9)
 
 	for _, i := range []archline.Intensity{0.25, 4, 64} {
 		timeOpt, err := archline.SplitForTime(pool, work, i)
@@ -40,20 +40,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		saved := 100 * (1 - float64(energyOpt.Energy)/float64(timeOpt.Energy))
+		saved := 100 * (1 - energyOpt.Energy.Joules()/timeOpt.Energy.Joules())
 		fmt.Printf("           energy-optimal (same deadline): %5.1f%% Titan -> %.0f J (%.1f%% saved)\n",
 			100*energyOpt.Shares[0].Fraction, float64(energyOpt.Energy), saved)
 
 		// Relaxing the deadline 2x: the pool's constant power burns for
 		// the whole window, and with pi_1-dominated machines that swamps
 		// the dynamic savings — the paper's pi_1 lesson at pool scale.
-		relaxed, err := archline.SplitForEnergy(pool, work, i, archline.Time(2*float64(timeOpt.Time)))
+		relaxed, err := archline.SplitForEnergy(pool, work, i, archline.Time(2*timeOpt.Time.Seconds()))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("           2x-relaxed window: %.0f J (%.0f%% MORE: pi_1 burns all window)\n",
 			float64(relaxed.Energy),
-			100*(float64(relaxed.Energy)/float64(energyOpt.Energy)-1))
+			100*(relaxed.Energy.Joules()/energyOpt.Energy.Joules()-1))
 	}
 
 	fmt.Println("\nreading: at low intensity the Malis' aggregate bandwidth earns them a real")

@@ -42,10 +42,10 @@ func main() {
 	full := curves[0].Params.PeakAvgPower()
 	eighth := curves[3].Params.PeakAvgPower()
 	fmt.Printf("\ncap cut 8x -> peak power only %.1fx lower (%.0f W -> %.0f W): pi_1 dominates\n",
-		float64(full)/float64(eighth), float64(full), float64(eighth))
+		full.Watts()/eighth.Watts(), float64(full), float64(eighth))
 
 	// Power bounding: a 50% node power bound.
-	budget := float64(titan.Single.PeakAvgPower()) / 2
+	budget := titan.Single.PeakAvgPower().Watts() / 2
 	res, err := archline.PowerBound(titan.Single, mali.Single, budget, 0.25)
 	if err != nil {
 		log.Fatal(err)

@@ -249,7 +249,7 @@ func (h *Hierarchy) Run(addrs []uint64, accessBytes units.Bytes) Traffic {
 		served[h.Access(a)]++
 	}
 	bytes := make([]units.Bytes, len(h.levels)+1)
-	bytes[0] = units.Bytes(float64(len(addrs)) * float64(accessBytes))
+	bytes[0] = units.Bytes(float64(len(addrs)) * accessBytes.Count())
 	for d := 1; d <= len(h.levels); d++ {
 		// Accesses served at depth >= d all crossed the boundary between
 		// depth d-1 and d, each moving one line of the level at depth d-1.
@@ -258,7 +258,7 @@ func (h *Hierarchy) Run(addrs []uint64, accessBytes units.Bytes) Traffic {
 			crossings += served[k]
 		}
 		line := h.levels[d-1].cfg.LineSize
-		bytes[d] = units.Bytes(float64(crossings) * float64(line))
+		bytes[d] = units.Bytes(float64(crossings) * line.Count())
 	}
 	return Traffic{ServedBy: served, LineBytes: bytes}
 }

@@ -162,18 +162,18 @@ func (h *Hierarchy) RunOps(ops []Op, accessBytes units.Bytes) RWTraffic {
 		served[depth]++
 	}
 	bytes := make([]units.Bytes, len(h.levels)+1)
-	bytes[0] = units.Bytes(float64(len(ops)) * float64(accessBytes))
+	bytes[0] = units.Bytes(float64(len(ops)) * accessBytes.Count())
 	for d := 1; d <= len(h.levels); d++ {
 		var crossings uint64
 		for k := d; k <= len(h.levels); k++ {
 			crossings += served[k]
 		}
 		line := h.levels[d-1].cfg.LineSize
-		bytes[d] = units.Bytes(float64(crossings) * float64(line))
+		bytes[d] = units.Bytes(float64(crossings) * line.Count())
 	}
 	wb := make([]units.Bytes, len(h.levels))
 	for i, l := range h.levels {
-		wb[i] = units.Bytes(float64(l.Writebacks()-wbBefore[i]) * float64(l.cfg.LineSize))
+		wb[i] = units.Bytes(float64(l.Writebacks()-wbBefore[i]) * l.cfg.LineSize.Count())
 	}
 	return RWTraffic{
 		Traffic:        Traffic{ServedBy: served, LineBytes: bytes},

@@ -55,6 +55,12 @@ commands:
 func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("archline", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	// fail reports an error on stderr and returns the process exit
+	// code. A failed stderr write has no further recovery path.
+	fail := func(err error) int {
+		_, _ = fmt.Fprintln(stderr, "archline:", err)
+		return 1
+	}
 	var (
 		seed       = fs.Uint64("seed", 42, "simulation noise seed")
 		points     = fs.Int("points", 25, "intensity sweep points per platform")
@@ -64,8 +70,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		platFile   = fs.String("platform-file", "", "JSON platform description to use instead of -platform")
 	)
 	fs.Usage = func() {
-		fmt.Fprint(stderr, Usage)
-		fmt.Fprintln(stderr, "flags:")
+		_, _ = fmt.Fprint(stderr, Usage)
+		_, _ = fmt.Fprintln(stderr, "flags:")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -84,24 +90,22 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if *platFile != "" {
 		f, err := os.Open(*platFile)
 		if err != nil {
-			fmt.Fprintln(stderr, "archline:", err)
-			return 1
+			return fail(err)
 		}
 		custom, err := machine.FromJSON(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
-			fmt.Fprintln(stderr, "archline:", err)
-			return 1
+			return fail(err)
 		}
 		if err := RunOn(fs.Arg(0), opts, custom, stdout); err != nil {
-			fmt.Fprintln(stderr, "archline:", err)
-			return 1
+			return fail(err)
 		}
 		return 0
 	}
 	if err := Run(fs.Arg(0), opts, machine.ID(*platform), stdout); err != nil {
-		fmt.Fprintln(stderr, "archline:", err)
-		return 1
+		return fail(err)
 	}
 	return 0
 }
@@ -132,8 +136,8 @@ func Run(cmd string, opts experiments.Options, plat machine.ID, w io.Writer) err
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(w, r.Render())
-		return nil
+		_, err = fmt.Fprintln(w, r.Render())
+		return err
 	}
 	switch cmd {
 	case "table1":
@@ -191,11 +195,15 @@ func Run(cmd string, opts experiments.Options, plat machine.ID, w io.Writer) err
 	case "all":
 		for _, c := range []string{"table1", "fig1", "fig4", "fig5", "fig6", "fig7a", "fig7b",
 			"scenarios", "dp", "network", "dvfs", "pi1"} {
-			fmt.Fprintf(w, "==================== %s ====================\n", c)
+			if _, err := fmt.Fprintf(w, "==================== %s ====================\n", c); err != nil {
+				return err
+			}
 			if err := Run(c, opts, plat, w); err != nil {
 				return err
 			}
-			fmt.Fprintln(w)
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
 		}
 		return nil
 	default:
@@ -252,9 +260,11 @@ func fitPlatform(opts experiments.Options, plat *machine.Platform, w io.Writer) 
 		tb.AddRow("eps_rand", units.FormatEnergyPerAccess(pf.Rand.Eps),
 			units.FormatEnergyPerAccess(plat.Rand.Eps))
 	}
-	fmt.Fprintln(w, tb.Render())
-	fmt.Fprintf(w, "fit RMS log-residual: %.4f\n", pf.Residual)
-	return nil
+	if _, err := fmt.Fprintln(w, tb.Render()); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "fit RMS log-residual: %.4f\n", pf.Residual)
+	return err
 }
 
 func sweepOne(id machine.ID, w io.Writer) error {
@@ -267,7 +277,9 @@ func sweepOne(id machine.ID, w io.Writer) error {
 
 func sweepPlatform(plat *machine.Platform, w io.Writer) error {
 	p := plat.Single
-	fmt.Fprintf(w, "%s model sweep\n%s\n\n", plat.Name, report.PanelHeader(plat))
+	if _, err := fmt.Fprintf(w, "%s model sweep\n%s\n\n", plat.Name, report.PanelHeader(plat)); err != nil {
+		return err
+	}
 	tb := &report.Table{
 		Headers: []string{"intensity", "regime", "flop/s", "flop/J", "power", "throttle"},
 	}
@@ -281,8 +293,8 @@ func sweepPlatform(plat *machine.Platform, w io.Writer) error {
 			fmt.Sprintf("%.2fx", p.ThrottleFactor(i)),
 		)
 	}
-	fmt.Fprintln(w, tb.Render())
-	return nil
+	_, err := fmt.Fprintln(w, tb.Render())
+	return err
 }
 
 // roofline draws the platform's time roofline (flop/s vs intensity) and
@@ -303,7 +315,7 @@ func rooflinePlatform(plat *machine.Platform, w io.Writer) error {
 	timeFree := report.PlotSeries{Name: "flop/s (uncapped)", Marker: '.'}
 	energySeries := report.PlotSeries{Name: "flop/J", Marker: 'o'}
 	for _, i := range grid {
-		x := float64(i)
+		x := i.Ratio()
 		timeSeries.X = append(timeSeries.X, x)
 		timeSeries.Y = append(timeSeries.Y, float64(p.FlopRateAt(i)))
 		timeFree.X = append(timeFree.X, x)
@@ -311,28 +323,35 @@ func rooflinePlatform(plat *machine.Platform, w io.Writer) error {
 		energySeries.X = append(energySeries.X, x)
 		energySeries.Y = append(energySeries.Y, float64(p.FlopsPerJouleAt(i)))
 	}
-	fmt.Fprintf(w, "%s rooflines\n%s\n\n", plat.Name, report.PanelHeader(plat))
+	if _, err := fmt.Fprintf(w, "%s rooflines\n%s\n\n", plat.Name, report.PanelHeader(plat)); err != nil {
+		return err
+	}
 	tp := &report.Plot{
 		Title:  "time roofline",
 		XLabel: "intensity (flop:Byte)",
 		LogY:   true, Height: 14,
 		Series: []report.PlotSeries{timeSeries, timeFree},
 	}
-	fmt.Fprintln(w, tp.Render())
+	if _, err := fmt.Fprintln(w, tp.Render()); err != nil {
+		return err
+	}
 	ep := &report.Plot{
 		Title:  "energy roofline",
 		XLabel: "intensity (flop:Byte)",
 		LogY:   true, Height: 14,
 		Series: []report.PlotSeries{energySeries},
 	}
-	fmt.Fprintln(w, ep.Render())
+	if _, err := fmt.Fprintln(w, ep.Render()); err != nil {
+		return err
+	}
+	var err error
 	if lo, hi, ok := p.CapBindingRange(); ok {
-		fmt.Fprintf(w, "power cap binds for I in [%s, %s]\n",
+		_, err = fmt.Fprintf(w, "power cap binds for I in [%s, %s]\n",
 			units.FormatIntensity(lo), units.FormatIntensity(hi))
 	} else {
-		fmt.Fprintln(w, "power cap never binds on this platform")
+		_, err = fmt.Fprintln(w, "power cap never binds on this platform")
 	}
-	return nil
+	return err
 }
 
 func list(w io.Writer) error {
@@ -347,9 +366,11 @@ func list(w io.Writer) error {
 			units.FormatByteRate(units.ByteRate(p.Vendor.MemBW)),
 			units.FormatFlopsPerJoule(p.Single.PeakFlopsPerJoule()))
 	}
-	fmt.Fprintln(w, tb.Render())
-	fmt.Fprintln(w, `run "archline fit -platform <id>" to fit one platform, "archline all" for every figure`)
-	return nil
+	if _, err := fmt.Fprintln(w, tb.Render()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, `run "archline fit -platform <id>" to fit one platform, "archline all" for every figure`)
+	return err
 }
 
 // exportAll runs the full microbenchmark suite on every platform and
@@ -357,7 +378,6 @@ func list(w io.Writer) error {
 // analogue of the paper's publicly released measurement data.
 func exportAll(opts experiments.Options, w io.Writer) error {
 	cw := csv.NewWriter(w)
-	defer cw.Flush()
 	header := []string{"platform", "kernel", "precision", "pattern", "level",
 		"W_flops", "Q_bytes", "accesses", "intensity", "time_s", "energy_J", "power_W"}
 	if err := cw.Write(header); err != nil {
@@ -376,18 +396,19 @@ func exportAll(opts experiments.Options, w io.Writer) error {
 			rec := []string{
 				string(m.Platform), m.Kernel, m.Precision.String(), m.Pattern.String(),
 				m.Level.String(),
-				strconv.FormatFloat(float64(m.W), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.Q), 'g', -1, 64),
+				strconv.FormatFloat(m.W.Count(), 'g', -1, 64),
+				strconv.FormatFloat(m.Q.Count(), 'g', -1, 64),
 				strconv.FormatFloat(float64(m.Accesses), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.Intensity), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.Time), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.Energy), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.AvgPower), 'g', -1, 64),
+				strconv.FormatFloat(m.Intensity.Ratio(), 'g', -1, 64),
+				strconv.FormatFloat(m.Time.Seconds(), 'g', -1, 64),
+				strconv.FormatFloat(m.Energy.Joules(), 'g', -1, 64),
+				strconv.FormatFloat(m.AvgPower.Watts(), 'g', -1, 64),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err
 			}
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }

@@ -57,7 +57,7 @@ func (n Network) Validate() error {
 // PerNodeConstantPower is the network's constant-power charge per node:
 // the NIC plus the amortized switch share.
 func (n Network) PerNodeConstantPower() units.Power {
-	return n.NICPower + units.Power(float64(n.SwitchPower)/float64(n.SwitchRadix))
+	return n.NICPower + units.Power(n.SwitchPower.Watts()/float64(n.SwitchRadix))
 }
 
 // EthernetLowPower is a small-system network: a 1 GbE-class NIC and an
@@ -130,9 +130,9 @@ func wireVolume(p Pattern, msg units.Bytes, nodes int) (units.Bytes, error) {
 			return 0, nil
 		}
 		f := 2 * float64(nodes-1) / float64(nodes)
-		return units.Bytes(f * float64(msg)), nil
+		return units.Bytes(f * msg.Count()), nil
 	case AllToAll:
-		return units.Bytes(float64(msg) * float64(nodes-1)), nil
+		return units.Bytes(msg.Count() * float64(nodes-1)), nil
 	default:
 		return 0, fmt.Errorf("cluster: unknown pattern %d", p)
 	}
@@ -162,17 +162,17 @@ func (c *Cluster) Validate() error {
 // ConstantPower is the whole system's constant power: node pi_1 plus the
 // per-node network charge, times N.
 func (c *Cluster) ConstantPower() units.Power {
-	per := float64(c.Node.Pi1) + float64(c.Net.PerNodeConstantPower())
+	per := c.Node.Pi1.Watts() + c.Net.PerNodeConstantPower().Watts()
 	return units.Power(per * float64(c.Nodes))
 }
 
 // PeakPower is the whole system's worst-case power.
 func (c *Cluster) PeakPower() units.Power {
-	dyn := math.Min(float64(c.Node.DeltaPi),
-		float64(c.Node.PiFlop())+float64(c.Node.PiMem()))
+	dyn := math.Min(c.Node.DeltaPi.Watts(),
+		c.Node.PiFlop().Watts()+c.Node.PiMem().Watts())
 	// Link power at full injection counts against the node's envelope
 	// only through EpsLink (we do not model a separate link cap).
-	return units.Power(float64(c.ConstantPower()) + dyn*float64(c.Nodes))
+	return units.Power(c.ConstantPower().Watts() + dyn*float64(c.Nodes))
 }
 
 // Step is one bulk-synchronous superstep: the whole system executes w
@@ -208,15 +208,15 @@ func (c *Cluster) Run(s Step) (Prediction, error) {
 		return Prediction{}, errors.New("cluster: negative step component")
 	}
 	n := float64(c.Nodes)
-	wNode := units.Flops(float64(s.W) / n)
-	qNode := units.Bytes(float64(s.Q) / n)
-	compute := float64(c.Node.Time(wNode, qNode))
+	wNode := units.Flops(s.W.Count() / n)
+	qNode := units.Bytes(s.Q.Count() / n)
+	compute := c.Node.Time(wNode, qNode).Seconds()
 
 	wire, err := wireVolume(s.Pattern, s.Msg, c.Nodes)
 	if err != nil {
 		return Prediction{}, err
 	}
-	comm := float64(wire) / float64(c.Net.LinkBW)
+	comm := wire.Count() / float64(c.Net.LinkBW)
 
 	var total float64
 	if c.Overlap {
@@ -227,9 +227,9 @@ func (c *Cluster) Run(s Step) (Prediction, error) {
 
 	// Energy: node dynamic + link dynamic + all constant power for the
 	// full step duration.
-	nodeDyn := float64(wNode)*float64(c.Node.EpsFlop) + float64(qNode)*float64(c.Node.EpsMem)
-	linkDyn := float64(wire) * float64(c.Net.EpsLink)
-	constP := float64(c.ConstantPower())
+	nodeDyn := wNode.Count()*float64(c.Node.EpsFlop) + qNode.Count()*float64(c.Node.EpsMem)
+	linkDyn := wire.Count() * float64(c.Net.EpsLink)
+	constP := c.ConstantPower().Watts()
 	energy := n*(nodeDyn+linkDyn) + constP*total
 
 	return Prediction{

@@ -58,14 +58,14 @@ func ScalingSweep(node model.Params, net Network, sizes []int, step Step,
 		c := &Cluster{Node: node, Nodes: n, Net: net, Overlap: overlap}
 		s := step
 		if mode == WeakScaling {
-			s.W = units.Flops(float64(step.W) * float64(n))
-			s.Q = units.Bytes(float64(step.Q) * float64(n))
+			s.W = units.Flops(step.W.Count() * float64(n))
+			s.Q = units.Bytes(step.Q.Count() * float64(n))
 		}
 		pred, err := c.Run(s)
 		if err != nil {
 			return nil, err
 		}
-		t := float64(pred.Time)
+		t := pred.Time.Seconds()
 		if idx == 0 {
 			baseTime = t * float64(sizes[0])
 			if mode == WeakScaling {
@@ -80,12 +80,12 @@ func ScalingSweep(node model.Params, net Network, sizes []int, step Step,
 		case WeakScaling:
 			eff = baseTime / t
 		}
-		work := float64(s.W)
+		work := s.W.Count()
 		out = append(out, ScalingPoint{
 			Nodes:         n,
 			Time:          pred.Time,
 			Efficiency:    eff,
-			EnergyPerWork: float64(pred.Energy) / work,
+			EnergyPerWork: pred.Energy.Joules() / work,
 			NetworkBound:  pred.NetworkBound,
 		})
 	}

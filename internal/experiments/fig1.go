@@ -43,14 +43,14 @@ func Fig1(opts Options) (*Fig1Result, error) {
 			if m.Intensity > 256 || m.Intensity < 0.125 {
 				continue
 			}
-			rate := float64(m.W) / float64(m.Time)
-			eff := float64(m.W) / float64(m.Energy)
+			rate := m.W.Count() / m.Time.Seconds()
+			eff := m.W.Count() / m.Energy.Joules()
 			res.MeasuredPerf[pi] = append(res.MeasuredPerf[pi],
 				scenario.MetricPoint{I: m.Intensity, Value: rate})
 			res.MeasuredEff[pi] = append(res.MeasuredEff[pi],
 				scenario.MetricPoint{I: m.Intensity, Value: eff})
 			res.MeasuredPower[pi] = append(res.MeasuredPower[pi],
-				scenario.MetricPoint{I: m.Intensity, Value: float64(m.AvgPower)})
+				scenario.MetricPoint{I: m.Intensity, Value: m.AvgPower.Watts()})
 		}
 	}
 	return res, nil
@@ -69,7 +69,7 @@ func (r *Fig1Result) plotPanel(title string, modelSeries [3]scenario.Series,
 	for i, s := range modelSeries {
 		ps := report.PlotSeries{Name: s.Name + " (model)", Marker: markers[i]}
 		for _, pt := range s.Points {
-			ps.X = append(ps.X, float64(pt.I))
+			ps.X = append(ps.X, pt.I.Ratio())
 			ps.Y = append(ps.Y, pt.Value)
 		}
 		p.Series = append(p.Series, ps)
@@ -79,7 +79,7 @@ func (r *Fig1Result) plotPanel(title string, modelSeries [3]scenario.Series,
 	for i, pts := range measured {
 		ps := report.PlotSeries{Name: names[i], Marker: dotMarkers[i]}
 		for _, pt := range pts {
-			ps.X = append(ps.X, float64(pt.I))
+			ps.X = append(ps.X, pt.I.Ratio())
 			ps.Y = append(ps.Y, pt.Value)
 		}
 		p.Series = append(p.Series, ps)

@@ -75,15 +75,15 @@ func fig4Platform(plat *machine.Platform, opts Options) (*Fig4Platform, error) {
 	}
 	{
 		for _, m := range sweep {
-			measuredP := float64(m.AvgPower)
+			measuredP := m.AvgPower.Watts()
 			if measuredP <= 0 {
 				continue
 			}
 			// Capped model: eq. (7). Uncapped model: E/T with the
 			// prior max-of-two time.
-			capped := float64(plat.Single.AvgPowerAt(m.Intensity))
+			capped := plat.Single.AvgPowerAt(m.Intensity).Watts()
 			tu := plat.Single.TimeUncapped(m.W, m.Q)
-			uncapped := float64(plat.Single.EnergyUncapped(m.W, m.Q).Over(tu))
+			uncapped := plat.Single.EnergyUncapped(m.W, m.Q).Over(tu).Watts()
 			fp.CappedErrs = append(fp.CappedErrs, (capped-measuredP)/measuredP)
 			fp.UncappedErrs = append(fp.UncappedErrs, (uncapped-measuredP)/measuredP)
 		}

@@ -49,10 +49,10 @@ func Fig5(opts Options) (*Fig5Result, error) {
 func fig5Panel(plat *machine.Platform, opts Options) (*Fig5Panel, error) {
 	grid := model.LogSpace(fig5Grid.Lo, fig5Grid.Hi, fig5Grid.N)
 	panel := &Fig5Panel{Platform: plat}
-	norm := float64(plat.Single.Pi1) + float64(plat.Single.DeltaPi)
+	norm := plat.Single.Pi1.Watts() + plat.Single.DeltaPi.Watts()
 	for _, i := range grid {
 		panel.Model = append(panel.Model, scenario.MetricPoint{
-			I: i, Value: float64(plat.Single.AvgPowerAt(i)) / norm,
+			I: i, Value: plat.Single.AvgPowerAt(i).Watts() / norm,
 		})
 		panel.Regimes = append(panel.Regimes, plat.Single.RegimeAt(i))
 	}
@@ -61,9 +61,9 @@ func fig5Panel(plat *machine.Platform, opts Options) (*Fig5Panel, error) {
 		return nil, err
 	}
 	for _, m := range suite.Sweep(sim.Single) {
-		v := float64(m.AvgPower) / norm
+		v := m.AvgPower.Watts() / norm
 		panel.Measured = append(panel.Measured, scenario.MetricPoint{I: m.Intensity, Value: v})
-		modelV := float64(plat.Single.AvgPowerAt(m.Intensity)) / norm
+		modelV := plat.Single.AvgPowerAt(m.Intensity).Watts() / norm
 		if e := abs(modelV-v) / v; e > panel.MaxAbsErr {
 			panel.MaxAbsErr = e
 		}
@@ -114,7 +114,7 @@ func (r *Fig5Result) Render() string {
 func seriesFromPoints(name string, pts []scenario.MetricPoint, marker byte) report.PlotSeries {
 	s := report.PlotSeries{Name: name, Marker: marker}
 	for _, p := range pts {
-		s.X = append(s.X, float64(p.I))
+		s.X = append(s.X, p.I.Ratio())
 		s.Y = append(s.Y, p.Value)
 	}
 	return s

@@ -85,8 +85,8 @@ func Throttle(q ThrottleQuantity) (*ThrottleResult, error) {
 func (r *ThrottleResult) value(p *ThrottlePanel, pt scenario.ThrottlePoint) float64 {
 	switch r.Quantity {
 	case ThrottlePower:
-		full := float64(p.Platform.Single.Pi1) + float64(p.Platform.Single.DeltaPi)
-		return float64(pt.Power) / full
+		full := p.Platform.Single.Pi1.Watts() + p.Platform.Single.DeltaPi.Watts()
+		return pt.Power.Watts() / full
 	case ThrottlePerf:
 		return float64(pt.Perf)
 	default:
@@ -114,7 +114,7 @@ func (r *ThrottleResult) Render() string {
 		for ci, c := range panel.Curves {
 			s := report.PlotSeries{Name: fracName[c.Frac], Marker: markers[ci%len(markers)]}
 			for _, pt := range c.Points {
-				s.X = append(s.X, float64(pt.I))
+				s.X = append(s.X, pt.I.Ratio())
 				s.Y = append(s.Y, r.value(panel, pt))
 			}
 			p.Series = append(p.Series, s)

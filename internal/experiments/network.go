@@ -75,7 +75,7 @@ func Network() (*NetworkResult, error) {
 			Name:          c.name,
 			Net:           c.net,
 			EffAdvantage:  float64(eff.FlopsPerJouleAt(i)) / titanEff,
-			PerfAdvantage: float64(w) / float64(pred.Time) / titanRate,
+			PerfAdvantage: w.Count() / pred.Time.Seconds() / titanRate,
 			ConstantPower: cl.ConstantPower(),
 		})
 	}

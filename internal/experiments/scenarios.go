@@ -33,7 +33,7 @@ func Scenarios() (*ScenariosResult, error) {
 	}
 	titan := machine.MustByID(machine.GTXTitan).Single
 	mali := machine.MustByID(machine.ArndaleGPU).Single
-	budget := units.Power(float64(titan.PeakAvgPower()) / 2) // "140 W" (half of peak)
+	budget := units.Power(titan.PeakAvgPower().Watts() / 2) // "140 W" (half of peak)
 	pb, err := scenario.PowerBound(titan, mali, budget, 0.25)
 	if err != nil {
 		return nil, err

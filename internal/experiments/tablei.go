@@ -63,8 +63,8 @@ func tableIRow(plat *machine.Platform, opts Options) (TableIRow, error) {
 		add("tau_mem", float64(pf.Params.TauMem), float64(ref.TauMem))
 		add("eps_s", float64(pf.Params.EpsFlop), float64(ref.EpsFlop))
 		add("eps_mem", float64(pf.Params.EpsMem), float64(ref.EpsMem))
-		add("pi_1", float64(pf.Params.Pi1), float64(ref.Pi1))
-		add("delta_pi", float64(pf.Params.DeltaPi), float64(ref.DeltaPi))
+		add("pi_1", pf.Params.Pi1.Watts(), ref.Pi1.Watts())
+		add("delta_pi", pf.Params.DeltaPi.Watts(), ref.DeltaPi.Watts())
 		if plat.SupportsDouble() {
 			add("eps_d", float64(pf.DoubleEps), float64(plat.DoubleEps))
 		}

@@ -42,7 +42,7 @@ func paramVector(p model.Params) [6]float64 {
 	return [6]float64{
 		float64(p.TauFlop), float64(p.TauMem),
 		float64(p.EpsFlop), float64(p.EpsMem),
-		float64(p.Pi1), float64(p.DeltaPi),
+		p.Pi1.Watts(), p.DeltaPi.Watts(),
 	}
 }
 

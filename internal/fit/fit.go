@@ -71,14 +71,14 @@ func dramObjective(obs []observation, tauF, tauM, maxP float64) Objective {
 	return func(logx []float64) float64 {
 		p := paramsFromLog(tauF, tauM, logx)
 		loss := 0.0
-		if cap := maxP - float64(p.Pi1); cap > 0 {
+		if cap := maxP - p.Pi1.Watts(); cap > 0 {
 			if d := logx[3] - math.Log(cap); d > 0 {
 				loss += dpiReg * d * d
 			}
 		}
 		for _, o := range obs {
-			that := float64(p.Time(units.Flops(o.w), units.Bytes(o.q)))
-			ehat := float64(p.Energy(units.Flops(o.w), units.Bytes(o.q)))
+			that := p.Time(units.Flops(o.w), units.Bytes(o.q)).Seconds()
+			ehat := p.Energy(units.Flops(o.w), units.Bytes(o.q)).Joules()
 			if that <= 0 || ehat <= 0 || math.IsInf(that, 0) {
 				return math.Inf(1)
 			}
@@ -183,7 +183,7 @@ func Platform(res *microbench.Result, opts Options) (*PlatformFit, error) {
 	if len(obs) < 6 {
 		return nil, errors.New("fit: insufficient single-precision sweep data")
 	}
-	x0, err := initialGuess(obs, float64(res.IdlePower))
+	x0, err := initialGuess(obs, res.IdlePower.Watts())
 	if err != nil {
 		return nil, err
 	}
@@ -247,8 +247,8 @@ func toObservations(ms []sim.Measurement) []observation {
 	var obs []observation
 	for _, m := range ms {
 		o := observation{
-			w: float64(m.W), q: float64(m.Q),
-			t: float64(m.Time), p: float64(m.AvgPower),
+			w: m.W.Count(), q: m.Q.Count(),
+			t: m.Time.Seconds(), p: m.AvgPower.Watts(),
 		}
 		if o.q <= 0 || o.t <= 0 || o.p <= 0 {
 			continue
@@ -277,8 +277,8 @@ func fitFlopSide(obs []observation, base model.Params, opts Options) (units.Ener
 		p.EpsFlop = units.EnergyPerFlop(math.Exp(logx[0]))
 		loss := 0.0
 		for _, o := range obs {
-			that := float64(p.Time(units.Flops(o.w), units.Bytes(o.q)))
-			ehat := float64(p.Energy(units.Flops(o.w), units.Bytes(o.q)))
+			that := p.Time(units.Flops(o.w), units.Bytes(o.q)).Seconds()
+			ehat := p.Energy(units.Flops(o.w), units.Bytes(o.q)).Joules()
 			if that <= 0 || ehat <= 0 {
 				return math.Inf(1)
 			}
@@ -288,7 +288,7 @@ func fitFlopSide(obs []observation, base model.Params, opts Options) (units.Ener
 		}
 		return loss
 	}
-	start := math.Log(math.Max((hi.p-float64(base.Pi1))*hi.t/hi.w, 1e-18))
+	start := math.Log(math.Max((hi.p-base.Pi1.Watts())*hi.t/hi.w, 1e-18))
 	best, err := MultiStart(obj, []float64{start}, opts.Restarts, opts.Spread, opts.Seed+1, opts.NM)
 	if err != nil {
 		return 0, err
@@ -319,8 +319,8 @@ func fitLevel(obs []observation, base model.Params, opts Options) (*model.LevelP
 		p.EpsMem = units.EnergyPerByte(math.Exp(logx[0]))
 		loss := 0.0
 		for _, o := range obs {
-			that := float64(p.Time(units.Flops(o.w), units.Bytes(o.q)))
-			ehat := float64(p.Energy(units.Flops(o.w), units.Bytes(o.q)))
+			that := p.Time(units.Flops(o.w), units.Bytes(o.q)).Seconds()
+			ehat := p.Energy(units.Flops(o.w), units.Bytes(o.q)).Joules()
 			if that <= 0 || ehat <= 0 {
 				return math.Inf(1)
 			}
@@ -338,7 +338,7 @@ func fitLevel(obs []observation, base model.Params, opts Options) (*model.LevelP
 			lo, loI = o, i
 		}
 	}
-	eps0 := math.Max((lo.p-float64(base.Pi1))*lo.t/lo.q, 1e-18)
+	eps0 := math.Max((lo.p-base.Pi1.Watts())*lo.t/lo.q, 1e-18)
 	best, err := MultiStart(obj, []float64{math.Log(eps0)},
 		opts.Restarts, opts.Spread, opts.Seed+2, opts.NM)
 	if err != nil {
@@ -360,8 +360,8 @@ func fitChase(ms []sim.Measurement, base model.Params, line units.Bytes) (*model
 		if m.Accesses <= 0 || m.Time <= 0 {
 			continue
 		}
-		rateSum += float64(m.Accesses) / float64(m.Time)
-		dyn := float64(m.Energy) - float64(base.Pi1)*float64(m.Time)
+		rateSum += float64(m.Accesses) / m.Time.Seconds()
+		dyn := m.Energy.Joules() - base.Pi1.Watts()*m.Time.Seconds()
 		epsSum += dyn / float64(m.Accesses)
 		n++
 	}

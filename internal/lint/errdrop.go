@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags expression statements that call a function returning an
+// error and discard it. The usual offenders on output paths are
+// fmt.Fprintf, (*bufio.Writer).Flush, and (*json.Encoder).Encode.
+//
+// Exempt by design:
+//   - fmt.Print/Printf/Println — stdout convenience writes, the
+//     conventional errcheck exclusion;
+//   - fmt.Fprint* directly to os.Stderr — process diagnostics with no
+//     recovery path (there is nowhere left to report the failure);
+//   - calls writing into *strings.Builder or *bytes.Buffer (their Write
+//     methods are documented never to fail), whether as the method
+//     receiver or as the writer argument of an fmt.Fprint* call;
+//   - explicit `_ =` assignments, which are a visible acknowledgement.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error return values",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass.Info, call) {
+				return true
+			}
+			if exemptErrDrop(pass.Info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "discarded error from %s", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.IsType() {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptErrDrop applies the documented exemptions.
+func exemptErrDrop(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 &&
+				(isInfallibleWriter(info, call.Args[0]) || isStderr(info, call.Args[0])) {
+				return true
+			}
+		}
+		return false
+	}
+	// Methods on infallible writers (strings.Builder, bytes.Buffer).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isInfallibleWriter(info, sel.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether e is (a pointer to) a
+// strings.Builder or bytes.Buffer.
+func isInfallibleWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStderr reports whether e is the os.Stderr variable.
+func isStderr(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == "os" && v.Name() == "Stderr"
+}
+
+// callName renders a short name for the called expression.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands in non-test
+// code. Exact equality on floats is almost always a latent bug in model
+// code; comparisons belong to an approximate-equality helper.
+//
+// Two idioms stay exempt because they are exact by construction:
+//   - comparison against a literal/constant zero (a sentinel check —
+//     0 is exactly representable and is how "unset" fields read), and
+//   - x != x, the NaN test.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on floating-point operands in non-test code",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(*ast.BinaryExpr)
+			if !ok || (e.Op != token.EQL && e.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.Info.Types[e.X]
+			yt, yok := pass.Info.Types[e.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !underlyingFloat(xt.Type) && !underlyingFloat(yt.Type) {
+				return true
+			}
+			if isZeroConst(xt) || isZeroConst(yt) {
+				return true
+			}
+			if types.ExprString(e.X) == types.ExprString(e.Y) {
+				// x != x is the NaN idiom; x == x its complement.
+				return true
+			}
+			pass.Reportf(e.Pos(), "%s on floating-point operands; use an approximate comparison", e.Op)
+			return true
+		})
+	}
+}
+
+// isZeroConst reports whether the expression is a numeric constant
+// equal to zero.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,248 @@
+// Package lint is archline's in-repo static-analysis framework: a
+// stdlib-only (go/ast, go/parser, go/types, go/importer) analyzer driver
+// with a small pluggable analyzer interface, inline suppression
+// directives, JSON output, and a textual auto-fix engine.
+//
+// It exists because the unit-safety guarantees of internal/units — the
+// compiler rejecting Time+Energy — evaporate at every raw float64(...)
+// conversion, and because the paper-reproduction claims depend on
+// deterministic, race-free bookkeeping. The analyzers here encode the
+// correctness discipline of this codebase; `cmd/archlint` is the driver
+// binary and `make check` wires it into the tier-1 verify.
+//
+// Suppression syntax: a finding on line N is suppressed by a directive
+// comment on line N or on line N-1:
+//
+//	//archlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory — a suppression without one is itself
+// reported as a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// File is the path of the offending file as loaded.
+	File string `json:"file"`
+	// Line and Col are 1-based source coordinates.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message describes the finding.
+	Message string `json:"message"`
+	// Suppressed reports whether an //archlint:ignore directive covers
+	// this finding; Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// TextEdit is a byte-range replacement produced by an analyzer in fix
+// mode. Offsets are file offsets within File.
+type TextEdit struct {
+	File     string
+	Start    int // byte offset of the first replaced byte
+	End      int // byte offset one past the last replaced byte
+	NewText  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Src maps a file path to its raw bytes (for fix-mode edits and
+	// source extraction).
+	Src map[string][]byte
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+	edits    *[]TextEdit
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Edit records a fix-mode text edit replacing [start, end) with text.
+func (p *Pass) Edit(start, end token.Pos, text string) {
+	sp, ep := p.Fset.Position(start), p.Fset.Position(end)
+	if sp.Filename != ep.Filename {
+		return
+	}
+	*p.edits = append(*p.edits, TextEdit{
+		File:     sp.Filename,
+		Start:    sp.Offset,
+		End:      ep.Offset,
+		NewText:  text,
+		Analyzer: p.analyzer.Name,
+	})
+}
+
+// ExprText returns the source text of the node, or the empty string if
+// the file bytes are unavailable.
+func (p *Pass) ExprText(n ast.Node) string {
+	sp, ep := p.Fset.Position(n.Pos()), p.Fset.Position(n.End())
+	src, ok := p.Src[sp.Filename]
+	if !ok || sp.Filename != ep.Filename || ep.Offset > len(src) {
+		return ""
+	}
+	return string(src[sp.Offset:ep.Offset])
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name is the identifier used in flags, output, and suppression
+	// directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the package and reports diagnostics via the pass.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		UnitSafety,
+		FloatCmp,
+		MapOrder,
+		ErrDrop,
+		CtxGoroutine,
+	}
+}
+
+// ByName resolves an analyzer by its name.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// directive is one parsed //archlint:ignore comment.
+type directive struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+const directivePrefix = "archlint:ignore"
+
+// collectDirectives parses every //archlint:ignore comment in the
+// files. Malformed directives (no analyzer, unknown analyzer, or a
+// missing reason) are reported as diagnostics so suppressions cannot
+// silently rot.
+func collectDirectives(fset *token.FileSet, files []*ast.File) (map[string][]directive, []Diagnostic) {
+	byFile := map[string][]directive{}
+	var bad []Diagnostic
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Diagnostic{
+			Analyzer: "archlint",
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" {
+					report(pos, "malformed //archlint:ignore: missing analyzer name")
+					continue
+				}
+				if _, ok := ByName(name); !ok {
+					report(pos, fmt.Sprintf("//archlint:ignore names unknown analyzer %q", name))
+					continue
+				}
+				if reason == "" {
+					report(pos, fmt.Sprintf("//archlint:ignore %s: missing reason", name))
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], directive{
+					line:     pos.Line,
+					analyzer: name,
+					reason:   reason,
+				})
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// applySuppressions marks diagnostics covered by a directive on the
+// same line or the line immediately above.
+func applySuppressions(diags []Diagnostic, byFile map[string][]directive) {
+	for i := range diags {
+		d := &diags[i]
+		for _, dir := range byFile[d.File] {
+			if dir.analyzer != d.Analyzer {
+				continue
+			}
+			if dir.line == d.Line || dir.line == d.Line-1 {
+				d.Suppressed = true
+				d.Reason = dir.reason
+				break
+			}
+		}
+	}
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runFixture lints one testdata fixture package with a single analyzer
+// enabled.
+func runFixture(t *testing.T, name string, fix bool) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Dir:      filepath.Join("testdata", "src", name),
+		Patterns: []string{"."},
+		Enable:   []string{name},
+		Fix:      fix,
+	})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", name, err)
+	}
+	return res
+}
+
+// TestAnalyzerGolden runs each analyzer end-to-end over its fixture and
+// compares the diagnostics (file:line:col, analyzer, message) against
+// the golden transcript. Every fixture mixes flagged and clean code, so
+// a pass also demonstrates the analyzer staying quiet where it should.
+func TestAnalyzerGolden(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			res := runFixture(t, a.Name, false)
+			var got []string
+			for _, d := range res.Unsuppressed() {
+				got = append(got, d.String())
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", a.Name+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLines := strings.Split(strings.TrimSpace(string(want)), "\n")
+			if strings.Join(got, "\n") != strings.Join(wantLines, "\n") {
+				t.Errorf("diagnostics mismatch\ngot:\n%s\nwant:\n%s",
+					strings.Join(got, "\n"), strings.Join(wantLines, "\n"))
+			}
+			if len(got) == 0 {
+				t.Error("fixture produced no diagnostics; want at least one")
+			}
+		})
+	}
+}
+
+// TestSuppression checks the //archlint:ignore path: directives on the
+// same line and the line above both suppress, reasons survive, and
+// nothing leaks out unsuppressed.
+func TestSuppression(t *testing.T) {
+	res, err := Run(Config{
+		Dir:      filepath.Join("testdata", "src", "suppress"),
+		Patterns: []string{"."},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un := res.Unsuppressed(); len(un) != 0 {
+		t.Fatalf("want all findings suppressed, got %d unsuppressed: %v", len(un), un)
+	}
+	if len(res.Diags) != 2 {
+		t.Fatalf("want 2 suppressed findings, got %d: %v", len(res.Diags), res.Diags)
+	}
+	for _, d := range res.Diags {
+		if !d.Suppressed || d.Reason == "" {
+			t.Errorf("finding %v should be suppressed with a reason", d)
+		}
+	}
+}
+
+// TestBadDirective checks that a malformed or unknown suppression is
+// itself reported instead of silently ignored.
+func TestBadDirective(t *testing.T) {
+	dir := writeTempFixture(t, "baddirective", `package baddirective
+
+// reasonless directive and unknown analyzer below:
+func cmp(a, b float64) bool {
+	//archlint:ignore floatcmp
+	x := a == b
+	//archlint:ignore nosuchanalyzer because
+	y := a != b
+	return x || y
+}
+`)
+	res, err := Run(Config{Dir: dir, Patterns: []string{"."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var directiveDiags, floatDiags int
+	for _, d := range res.Unsuppressed() {
+		switch d.Analyzer {
+		case "archlint":
+			directiveDiags++
+		case "floatcmp":
+			floatDiags++
+		}
+	}
+	if directiveDiags != 2 {
+		t.Errorf("want 2 malformed-directive diagnostics, got %d: %v", directiveDiags, res.Diags)
+	}
+	if floatDiags != 2 {
+		t.Errorf("malformed directives must not suppress; want 2 floatcmp findings, got %d", floatDiags)
+	}
+}
+
+// TestJSONOutput encodes a run's diagnostics the way `archlint -json`
+// does and checks the wire fields.
+func TestJSONOutput(t *testing.T) {
+	res := runFixture(t, "floatcmp", false)
+	data, err := json.Marshal(res.Unsuppressed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Diagnostic
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("want 3 findings over the wire, got %d", len(decoded))
+	}
+	for _, d := range decoded {
+		if d.Analyzer != "floatcmp" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestFixMode applies unitsafety's auto-fixes to a scratch copy of the
+// fixture and verifies every conversion finding disappears, leaving
+// only the (non-fixable) dimensional-arithmetic finding.
+func TestFixMode(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "unitsafety", "fixture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := writeTempFixture(t, "unitsafety", string(src))
+
+	res, err := Run(Config{Dir: dir, Patterns: []string{"."}, Enable: []string{"unitsafety"}, Fix: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FixedFiles) != 1 {
+		t.Fatalf("want 1 fixed file, got %v", res.FixedFiles)
+	}
+
+	res2, err := Run(Config{Dir: dir, Patterns: []string{"."}, Enable: []string{"unitsafety"}})
+	if err != nil {
+		t.Fatalf("fixed fixture no longer loads: %v", err)
+	}
+	remaining := res2.Unsuppressed()
+	if len(remaining) != 1 || !strings.Contains(remaining[0].Message, "multiplying") {
+		t.Fatalf("want only the arithmetic finding after -fix, got %v", remaining)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "fixture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".Seconds()", ".Joules()", ".Watts()", ".Count()", ".Ratio()"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %s", want)
+		}
+	}
+}
+
+// TestEnableDisable checks the analyzer selection flags.
+func TestEnableDisable(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "floatcmp")
+	res, err := Run(Config{Dir: dir, Patterns: []string{"."}, Disable: []string{"floatcmp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsuppressed()) != 0 {
+		t.Errorf("disabled analyzer still reported: %v", res.Diags)
+	}
+	if _, err := Run(Config{Dir: dir, Patterns: []string{"."}, Enable: []string{"nosuch"}}); err == nil {
+		t.Error("want error for unknown analyzer name")
+	}
+}
+
+// TestRepoIsClean runs the full suite over the whole repository — the
+// acceptance bar for `go run ./cmd/archlint ./...`: every finding must
+// be fixed or carry a reasoned suppression.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint is not short")
+	}
+	res, err := Run(Config{Dir: filepath.Join("..", ".."), Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Unsuppressed() {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}
+
+// writeTempFixture creates a scratch fixture package under testdata (it
+// must live inside the module so module-local imports resolve) and
+// returns its directory.
+func writeTempFixture(t *testing.T, name, src string) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("testdata", "scratch-"+name+"-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body does order-sensitive
+// work: appending to a slice, writing output (fmt.Fprint*, Write*,
+// AddRow, Encode), or assigning to a variable declared outside the
+// loop. Go randomises map iteration order, so any of these makes
+// report tables and JSON documents differ run to run.
+//
+// The one exempt shape is the collect-then-sort idiom — a body that
+// only appends the range key to a slice (`for k := range m { keys =
+// append(keys, k) }`), which is precisely how the findings get fixed.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration feeding order-sensitive output or state",
+	Run:  runMapOrder,
+}
+
+// outputCallNames are function/method names whose invocation inside a
+// map-range body makes the emitted bytes depend on iteration order.
+var outputCallNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "Encode": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectLoop(pass, rng) {
+				return true
+			}
+			if reason := orderSensitiveWork(pass, rng); reason != "" {
+				pass.Reportf(rng.Pos(), "map iteration order is nondeterministic and the body %s; sort the keys first", reason)
+			}
+			return true
+		})
+	}
+}
+
+// isKeyCollectLoop matches `for k := range m { keys = append(keys, k) }`.
+func isKeyCollectLoop(pass *Pass, rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || assign.Tok != token.ASSIGN {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && pass.Info.Uses[arg] == pass.Info.Defs[key]
+}
+
+// orderSensitiveWork scans the loop body for order-dependent effects
+// and describes the first one found, or returns "".
+func orderSensitiveWork(pass *Pass, rng *ast.RangeStmt) string {
+	var reason string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if fn, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && fn.Name == "append" {
+				reason = "appends to a slice"
+				return false
+			}
+			var name string
+			switch fun := ast.Unparen(s.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if outputCallNames[name] {
+				reason = "writes output via " + name
+				return false
+			}
+		case *ast.AssignStmt:
+			if r := outerAssignment(pass, rng, s); r != "" {
+				reason = r
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// outerAssignment reports order-dependent writes to variables declared
+// outside the range statement. Plain `=` is last-writer-wins;
+// float-typed `+=`-style updates are non-associative, so their result
+// depends on visit order too. Integer accumulation is commutative and
+// stays exempt, as do writes through indexing (m2[k] = v is
+// key-addressed, not order-addressed).
+func outerAssignment(pass *Pass, rng *ast.RangeStmt, assign *ast.AssignStmt) string {
+	if assign.Tok == token.DEFINE {
+		return ""
+	}
+	for _, lhs := range assign.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || obj.Pos() == token.NoPos {
+			continue
+		}
+		if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			continue // declared inside the loop
+		}
+		if assign.Tok == token.ASSIGN {
+			if len(assign.Rhs) == 1 {
+				if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
+					if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fn.Name == "append" {
+						return "appends to " + id.Name
+					}
+				}
+			}
+			return "assigns to " + id.Name + " declared outside the loop"
+		}
+		if underlyingFloat(obj.Type()) {
+			return "accumulates into float " + id.Name + " (non-associative)"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config selects what Run analyzes and how.
+type Config struct {
+	// Dir is the working directory patterns are resolved against
+	// (defaults to the process working directory).
+	Dir string
+	// Patterns are package patterns ("./...", "internal/model").
+	Patterns []string
+	// Enable restricts the suite to the named analyzers (empty = all).
+	Enable []string
+	// Disable removes the named analyzers from the suite.
+	Disable []string
+	// Fix applies analyzer-provided text edits to the source files.
+	Fix bool
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	// Diags holds every diagnostic, sorted by position, including
+	// suppressed ones.
+	Diags []Diagnostic
+	// FixedFiles lists files rewritten in fix mode.
+	FixedFiles []string
+}
+
+// Unsuppressed returns the diagnostics not covered by a directive.
+func (r *Result) Unsuppressed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Summary returns per-analyzer (total, suppressed) counts in a stable
+// analyzer order.
+func (r *Result) Summary() []SummaryRow {
+	counts := map[string]*SummaryRow{}
+	var order []string
+	for _, d := range r.Diags {
+		row, ok := counts[d.Analyzer]
+		if !ok {
+			row = &SummaryRow{Analyzer: d.Analyzer}
+			counts[d.Analyzer] = row
+			order = append(order, d.Analyzer)
+		}
+		row.Total++
+		if d.Suppressed {
+			row.Suppressed++
+		}
+	}
+	sort.Strings(order)
+	out := make([]SummaryRow, 0, len(order))
+	for _, name := range order {
+		out = append(out, *counts[name])
+	}
+	return out
+}
+
+// SummaryRow is one analyzer's finding counts.
+type SummaryRow struct {
+	Analyzer   string `json:"analyzer"`
+	Total      int    `json:"total"`
+	Suppressed int    `json:"suppressed"`
+}
+
+// selectAnalyzers applies Enable/Disable to the full suite.
+func selectAnalyzers(cfg Config) ([]*Analyzer, error) {
+	suite := All()
+	if len(cfg.Enable) > 0 {
+		var picked []*Analyzer
+		for _, name := range cfg.Enable {
+			a, ok := ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+	if len(cfg.Disable) > 0 {
+		drop := map[string]bool{}
+		for _, name := range cfg.Disable {
+			if _, ok := ByName(name); !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			drop[name] = true
+		}
+		var kept []*Analyzer
+		for _, a := range suite {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		suite = kept
+	}
+	return suite, nil
+}
+
+// Run loads every package matching cfg.Patterns and applies the
+// selected analyzers. Diagnostics come back relative to cfg.Dir when
+// possible.
+func Run(cfg Config) (*Result, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := selectAnalyzers(cfg)
+	if err != nil {
+		return nil, err
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := Expand(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	var edits []TextEdit
+	for _, pkgDir := range dirs {
+		pkg, err := loader.Load(pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		byFile, bad := collectDirectives(pkg.Fset, pkg.Files)
+		diags = append(diags, bad...)
+		var pkgDiags []Diagnostic
+		for _, a := range suite {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Src:      pkg.Src,
+				analyzer: a,
+				diags:    &pkgDiags,
+				edits:    &edits,
+			}
+			a.Run(pass)
+		}
+		applySuppressions(pkgDiags, byFile)
+		diags = append(diags, pkgDiags...)
+	}
+	res := &Result{}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(dir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+			d.File = rel
+		}
+		res.Diags = append(res.Diags, d)
+	}
+	sortDiagnostics(res.Diags)
+	if cfg.Fix {
+		fixed, err := applyEdits(edits)
+		if err != nil {
+			return nil, err
+		}
+		res.FixedFiles = fixed
+	}
+	return res, nil
+}
+
+// applyEdits rewrites files with the collected edits, later offsets
+// first so earlier offsets stay valid. Overlapping edits in one file
+// are rejected.
+func applyEdits(edits []TextEdit) ([]string, error) {
+	byFile := map[string][]TextEdit{}
+	for _, e := range edits {
+		byFile[e.File] = append(byFile[e.File], e)
+	}
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var fixed []string
+	for _, f := range files {
+		es := byFile[f]
+		sort.Slice(es, func(i, j int) bool { return es[i].Start > es[j].Start })
+		for i := 1; i < len(es); i++ {
+			if es[i].End > es[i-1].Start {
+				return nil, fmt.Errorf("lint: overlapping fixes in %s", f)
+			}
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range es {
+			if e.Start < 0 || e.End > len(data) || e.Start > e.End {
+				return nil, fmt.Errorf("lint: fix out of range in %s", f)
+			}
+			data = append(data[:e.Start], append([]byte(e.NewText), data[e.End:]...)...)
+		}
+		if err := os.WriteFile(f, data, 0o644); err != nil {
+			return nil, err
+		}
+		fixed = append(fixed, f)
+	}
+	return fixed, nil
+}

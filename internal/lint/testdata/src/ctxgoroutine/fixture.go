@@ -1,0 +1,47 @@
+// Package ctxgoroutine is an archlint test fixture: unhygienic
+// goroutine launches next to the worker-pool discipline.
+package ctxgoroutine
+
+import "sync"
+
+// Bad: fire-and-forget with no join in the enclosing function.
+func badNoJoin(fn func()) {
+	go fn()
+}
+
+// Bad: the closure captures the loop variable instead of taking it as
+// an argument.
+func badCapture(items []int, out []int) {
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = it
+		}()
+	}
+	wg.Wait()
+}
+
+// Clean: loop values passed as arguments, WaitGroup join visible.
+func clean(items []int, out []int) {
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			out[i] = v
+		}(i, it)
+	}
+	wg.Wait()
+}
+
+// Clean: a channel receive is also a join.
+func cleanChannel(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	<-done
+}

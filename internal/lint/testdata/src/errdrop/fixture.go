@@ -1,0 +1,42 @@
+// Package errdrop is an archlint test fixture: discarded errors next
+// to the exempt output shapes.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func alsoValue() (int, error) { return 0, nil }
+
+// Bad: both calls drop their error on the floor (os.Stdout writes are
+// product output, unlike stderr diagnostics).
+func bad() {
+	mayFail()
+	fmt.Fprintf(os.Stdout, "boom\n")
+}
+
+// Bad: a dropped (value, error) pair counts too.
+func badTuple() {
+	alsoValue()
+}
+
+// Clean: checked, acknowledged, or infallible.
+func clean() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Fprintf(&b, "%d", 1)
+	var buf bytes.Buffer
+	buf.WriteString("ok")
+	fmt.Println(b.String())
+	fmt.Fprintln(os.Stderr, "stderr diagnostics have no recovery path")
+	_ = mayFail()
+	return nil
+}

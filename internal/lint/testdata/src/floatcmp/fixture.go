@@ -1,0 +1,36 @@
+// Package floatcmp is an archlint test fixture: exact floating-point
+// comparisons next to the exempt idioms.
+package floatcmp
+
+// Celsius exercises named types whose underlying type is a float.
+type Celsius float64
+
+// Bad: exact equality between computed floats.
+func bad(a, b float64) bool {
+	return a == b
+}
+
+// Bad: != is just as fragile, and float32 counts too.
+func bad32(a, b float32) bool {
+	return a != b
+}
+
+// Bad: named float types are still floats underneath.
+func badNamed(x, y Celsius) bool {
+	return x == y
+}
+
+// Clean: zero is exactly representable; == 0 is a sentinel check.
+func cleanZero(a float64) bool {
+	return a == 0
+}
+
+// Clean: x != x is the NaN idiom.
+func cleanNaN(x float64) bool {
+	return x != x
+}
+
+// Clean: integer comparison is exact.
+func cleanInt(i, j int) bool {
+	return i == j
+}

@@ -1,0 +1,69 @@
+// Package maporder is an archlint test fixture: map iteration feeding
+// order-sensitive work, next to the sorted-keys discipline.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Bad: appended rows come out in a different order every run.
+func badAppend(m map[string]int) []string {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	return rows
+}
+
+// Bad: bytes hit the writer in map order.
+func badWrite(w io.Writer, m map[string]float64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %g\n", k, v)
+	}
+}
+
+// Bad: last-writer-wins on a variable declared outside the loop.
+func badAssign(m map[string]int) string {
+	winner := ""
+	for k := range m {
+		if len(k) > 3 {
+			winner = k
+		}
+	}
+	return winner
+}
+
+// Bad: float accumulation is non-associative, so even a sum depends on
+// visit order in the low bits.
+func badFloatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Clean: collect keys, sort, then emit.
+func clean(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rows []string
+	for _, k := range keys {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return rows
+}
+
+// Clean: integer accumulation is commutative.
+func cleanCount(m map[string]int) int {
+	total := 0
+	for range m {
+		total++
+	}
+	return total
+}

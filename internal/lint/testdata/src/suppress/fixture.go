@@ -1,0 +1,15 @@
+// Package suppress is an archlint test fixture for the
+// //archlint:ignore directive: every finding here carries a reason and
+// must come back suppressed.
+package suppress
+
+// cmpAbove suppresses with a directive on the line above.
+func cmpAbove(a, b float64) bool {
+	//archlint:ignore floatcmp fixture exercises the line-above directive
+	return a == b
+}
+
+// cmpTrailing suppresses with a trailing same-line directive.
+func cmpTrailing(a, b float64) bool {
+	return a != b //archlint:ignore floatcmp fixture exercises the same-line directive
+}

@@ -1,0 +1,42 @@
+// Package unitsafety is an archlint test fixture: bad unit-stripping
+// casts and dimensionally wrong arithmetic, next to clean code that
+// must not be flagged.
+package unitsafety
+
+import (
+	"fmt"
+
+	"archline/internal/units"
+)
+
+// Bad: raw float64 conversions strip the unit types.
+func bad(t units.Time, e units.Energy, p units.Power) float64 {
+	sum := float64(t) + float64(e)
+	sum += float64(p) * 2
+	return sum
+}
+
+// Bad: counts and intensities lose their meaning the same way.
+func badCounts(w units.Flops, q units.Bytes, i units.Intensity) float64 {
+	return float64(w)/float64(q) + float64(i)
+}
+
+// Bad: Time*Time compiles but seconds-squared is not a Time.
+func area(t units.Time) units.Time {
+	return t * t
+}
+
+// Clean: named accessors keep the physical meaning at the call site.
+func clean(t units.Time, p units.Power) float64 {
+	return t.Seconds() + p.Watts()
+}
+
+// Clean: formatting call sites may take plain floats.
+func format(t units.Time, p units.Power) string {
+	return fmt.Sprintf("%g %s", float64(t), units.FormatSI(float64(p), "W", 3))
+}
+
+// Clean: scaling by a constant is ordinary unit arithmetic.
+func double(t units.Time) units.Time {
+	return 2 * t
+}

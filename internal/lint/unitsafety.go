@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unitsPkgPath is the package whose named quantity types the analyzer
+// protects.
+const unitsPkgPath = "archline/internal/units"
+
+// guardedUnits maps each protected units type to the accessor method
+// that strips it *by name*, keeping the physical meaning visible at the
+// call site.
+var guardedUnits = map[string]string{
+	"Time":      "Seconds",
+	"Energy":    "Joules",
+	"Power":     "Watts",
+	"Flops":     "Count",
+	"Bytes":     "Count",
+	"Intensity": "Ratio",
+}
+
+// UnitSafety flags raw float64(...) conversions that silently strip a
+// protected units type outside the units package and outside formatting
+// call sites, and flags multiplication or division of two unit-typed
+// values (Time*Time compiles but is dimensionally meaningless). In fix
+// mode the conversions rewrite to the named accessor methods.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "flags float64(...) casts and arithmetic that defeat the units type system",
+	Run:  runUnitSafety,
+}
+
+// guardedUnitType returns the protected type name when t is one of the
+// guarded named types from internal/units.
+func guardedUnitType(t types.Type) (string, bool) {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPkgPath {
+		return "", false
+	}
+	_, guarded := guardedUnits[obj.Name()]
+	return obj.Name(), guarded
+}
+
+func runUnitSafety(pass *Pass) {
+	if pass.Pkg.Path() == unitsPkgPath {
+		return
+	}
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkUnitConversion(pass, parents, e)
+			case *ast.BinaryExpr:
+				checkUnitArithmetic(pass, e)
+			}
+			return true
+		})
+	}
+}
+
+// checkUnitConversion flags float64(x) where x has a guarded unit type.
+func checkUnitConversion(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	target, ok := isConversion(pass.Info, call)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	basic, ok := target.(*types.Basic)
+	if !ok || basic.Kind() != types.Float64 {
+		return
+	}
+	arg := call.Args[0]
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value != nil {
+		return
+	}
+	name, guarded := guardedUnitType(tv.Type)
+	if !guarded {
+		return
+	}
+	if inFormattingCall(pass.Info, parents, call) {
+		return
+	}
+	method := guardedUnits[name]
+	pass.Reportf(call.Pos(), "float64(...) strips units.%s; use .%s()", name, method)
+	operand := ast.Unparen(arg)
+	text := pass.ExprText(operand)
+	if text == "" {
+		return
+	}
+	switch operand.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr, *ast.IndexExpr:
+		// Postfix method call binds directly.
+	default:
+		text = "(" + text + ")"
+	}
+	pass.Edit(call.Pos(), call.End(), text+"."+method+"()")
+}
+
+// inFormattingCall reports whether the conversion is directly an
+// argument to a call into package fmt or the units package itself —
+// format strings and SI-prefix helpers legitimately take plain floats.
+func inFormattingCall(info *types.Info, parents map[ast.Node]ast.Node, n ast.Node) bool {
+	p := parents[n]
+	for {
+		if pe, ok := p.(*ast.ParenExpr); ok {
+			p = parents[pe]
+			continue
+		}
+		break
+	}
+	call, ok := p.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch calleePkgPath(info, call) {
+	case "fmt", unitsPkgPath:
+		return true
+	}
+	return false
+}
+
+// checkUnitArithmetic flags x*y and x/y where both operands carry the
+// same guarded unit type: the result type lies about its dimension
+// (seconds * seconds is not a Time).
+func checkUnitArithmetic(pass *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.MUL && e.Op != token.QUO {
+		return
+	}
+	if isConstExpr(pass.Info, e.X) || isConstExpr(pass.Info, e.Y) {
+		return
+	}
+	xt, xok := pass.Info.Types[e.X]
+	yt, yok := pass.Info.Types[e.Y]
+	if !xok || !yok {
+		return
+	}
+	xn, xg := guardedUnitType(xt.Type)
+	_, yg := guardedUnitType(yt.Type)
+	if !xg || !yg {
+		return
+	}
+	op := "multiplying"
+	if e.Op == token.QUO {
+		op = "dividing"
+	}
+	pass.Reportf(e.Pos(), "%s two units.%s values yields a dimensionally wrong units.%s; convert explicitly", op, xn, xn)
+}

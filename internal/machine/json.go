@@ -61,6 +61,15 @@ var classNames = map[string]Class{
 	"coprocessor": ClassCoprocessor,
 }
 
+// classIDs is the inverse of classNames; kept as an explicit literal so
+// encoding never depends on map iteration order.
+var classIDs = map[Class]string{
+	ClassDesktop:     "desktop",
+	ClassMini:        "mini",
+	ClassMobile:      "mobile",
+	ClassCoprocessor: "coprocessor",
+}
+
 // FromJSON decodes a platform description. It validates the resulting
 // model parameters, so a malformed datasheet fails loudly.
 func FromJSON(r io.Reader) (*Platform, error) {
@@ -121,7 +130,7 @@ func FromJSON(r io.Reader) (*Platform, error) {
 		p.Sustained.L2BW = units.GBPerSec(pj.L2.BWGBs)
 	}
 	if pj.RandMaccs > 0 {
-		p.Rand = random(pj.RandEpsNJ, pj.RandMaccs, float64(p.CacheLine))
+		p.Rand = random(pj.RandEpsNJ, pj.RandMaccs, p.CacheLine.Count())
 		p.Sustained.RandRate = units.MAccPerSec(pj.RandMaccs)
 	}
 	if err := p.Single.Validate(); err != nil {
@@ -138,12 +147,7 @@ func ToJSON(w io.Writer, p *Platform) error {
 	if p == nil {
 		return errors.New("machine: nil platform")
 	}
-	className := ""
-	for name, c := range classNames {
-		if c == p.Class {
-			className = name
-		}
-	}
+	className := classIDs[p.Class]
 	pj := platformJSON{
 		ID:        string(p.ID),
 		Name:      p.Name,
@@ -157,7 +161,7 @@ func ToJSON(w io.Writer, p *Platform) error {
 		VendorDoubleGflops: float64(p.Vendor.Double) / 1e9,
 		VendorMemGBs:       float64(p.Vendor.MemBW) / 1e9,
 
-		IdleW: float64(p.IdlePower),
+		IdleW: p.IdlePower.Watts(),
 
 		SustainedSingleGflops: float64(p.Sustained.SingleRate) / 1e9,
 		SustainedDoubleGflops: float64(p.Sustained.DoubleRate) / 1e9,
@@ -166,8 +170,8 @@ func ToJSON(w io.Writer, p *Platform) error {
 		EpsSPJ:    float64(p.Single.EpsFlop) * 1e12,
 		EpsDPJ:    float64(p.DoubleEps) * 1e12,
 		EpsMemPJ:  float64(p.Single.EpsMem) * 1e12,
-		Pi1W:      float64(p.Single.Pi1),
-		DeltaPiW:  float64(p.Single.DeltaPi),
+		Pi1W:      p.Single.Pi1.Watts(),
+		DeltaPiW:  p.Single.DeltaPi.Watts(),
 		CacheLine: int(p.CacheLine),
 
 		L1SizeBytes: int64(p.L1Size),

@@ -121,3 +121,25 @@ func TestFromJSONErrors(t *testing.T) {
 		t.Error("nil platform should error")
 	}
 }
+
+// TestToJSONDeterministic guards the encoder against map-iteration-order
+// flakiness: two consecutive renders of the same platform must be
+// byte-identical (the class name is looked up via an explicit inverse
+// map, not by ranging over classNames).
+func TestToJSONDeterministic(t *testing.T) {
+	for _, p := range All() {
+		var a, b bytes.Buffer
+		if err := ToJSON(&a, p); err != nil {
+			t.Fatalf("%s: first encode: %v", p.Name, err)
+		}
+		if err := ToJSON(&b, p); err != nil {
+			t.Fatalf("%s: second encode: %v", p.Name, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: consecutive encodings differ", p.Name)
+		}
+		if !strings.Contains(a.String(), `"class"`) {
+			t.Errorf("%s: class field missing from encoding", p.Name)
+		}
+	}
+}

@@ -202,11 +202,11 @@ func (p *Platform) Hierarchy() model.Hierarchy {
 // power the platform spends regardless of load. Section V-C reports this
 // exceeds 50% on 7 of the 12 platforms.
 func (p *Platform) ConstantPowerShare() float64 {
-	total := float64(p.Single.Pi1) + float64(p.Single.DeltaPi)
+	total := p.Single.Pi1.Watts() + p.Single.DeltaPi.Watts()
 	if total <= 0 {
 		return 0
 	}
-	return float64(p.Single.Pi1) / total
+	return p.Single.Pi1.Watts() / total
 }
 
 // SustainedFraction returns sustained/vendor ratios (the bracketed

@@ -109,7 +109,7 @@ func BuildSuite(plat *machine.Platform, cfg Config) ([]sim.Kernel, error) {
 					Precision:    sim.Single,
 					Pattern:      sim.StreamPattern,
 					FlopsPerWord: fpw,
-					WorkingSet:   units.Bytes(float64(plat.L1Size) / 2),
+					WorkingSet:   units.Bytes(plat.L1Size.Count() / 2),
 				}, cfg.TargetRunTime))
 			}
 		}
@@ -122,7 +122,7 @@ func BuildSuite(plat *machine.Platform, cfg Config) ([]sim.Kernel, error) {
 					FlopsPerWord: fpw,
 					// Halfway between L1 and L2 capacity: resident in L2,
 					// too large for L1.
-					WorkingSet: units.Bytes((float64(plat.L1Size) + float64(plat.L2Size)) / 2),
+					WorkingSet: units.Bytes((plat.L1Size.Count() + plat.L2Size.Count()) / 2),
 				}, cfg.TargetRunTime))
 			}
 		}
@@ -146,12 +146,12 @@ func tuned(plat *machine.Platform, k sim.Kernel, target units.Time) sim.Kernel {
 	var perPass float64
 	if k.Pattern == sim.ChasePattern {
 		if plat.Rand != nil && plat.Rand.Rate > 0 {
-			accesses := float64(k.WorkingSet) / float64(plat.Rand.Line)
+			accesses := k.WorkingSet.Count() / plat.Rand.Line.Count()
 			perPass = accesses / float64(plat.Rand.Rate)
 		}
 	} else {
 		p := plat.Single
-		words := float64(k.WorkingSet) / float64(k.Precision.Bytes())
+		words := k.WorkingSet.Count() / k.Precision.Bytes().Count()
 		tFlop := k.FlopsPerWord * words * float64(p.TauFlop)
 		// Use the fastest plausible memory path (L1) for the bound so
 		// cache-resident kernels do not under-run.
@@ -159,12 +159,12 @@ func tuned(plat *machine.Platform, k sim.Kernel, target units.Time) sim.Kernel {
 		if plat.L1 != nil && float64(plat.L1.Tau) < tau {
 			tau = float64(plat.L1.Tau)
 		}
-		tMem := float64(k.WorkingSet) * tau
+		tMem := k.WorkingSet.Count() * tau
 		perPass = math.Max(tFlop, tMem)
 	}
 	passes := 1
 	if perPass > 0 {
-		passes = int(math.Ceil(float64(target) / perPass))
+		passes = int(math.Ceil(target.Seconds() / perPass))
 	}
 	if passes < 1 {
 		passes = 1

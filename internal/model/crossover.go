@@ -39,7 +39,7 @@ func (p Params) valueAt(m Metric, i units.Intensity) float64 {
 	case MetricFlopsPerJoule:
 		return float64(p.FlopsPerJouleAt(i))
 	case MetricAvgPower:
-		return float64(p.AvgPowerAt(i))
+		return p.AvgPowerAt(i).Watts()
 	default:
 		return math.NaN()
 	}
@@ -71,7 +71,7 @@ func Crossover(a, b Params, m Metric, lo, hi units.Intensity) (units.Intensity, 
 		}
 		return math.Log(va / vb)
 	}
-	x0, x1 := math.Log(float64(lo)), math.Log(float64(hi))
+	x0, x1 := math.Log(lo.Ratio()), math.Log(hi.Ratio())
 	f0, f1 := f(x0), f(x1)
 	if math.IsNaN(f0) || math.IsNaN(f1) {
 		return 0, errors.New("model: metric not positive at interval endpoint")
@@ -145,7 +145,7 @@ func LogSpace(lo, hi units.Intensity, n int) []units.Intensity {
 		return []units.Intensity{lo}
 	}
 	out := make([]units.Intensity, n)
-	l0, l1 := math.Log(float64(lo)), math.Log(float64(hi))
+	l0, l1 := math.Log(lo.Ratio()), math.Log(hi.Ratio())
 	for i := range out {
 		frac := float64(i) / float64(n-1)
 		out[i] = units.Intensity(math.Exp(l0 + frac*(l1-l0)))
@@ -158,11 +158,11 @@ func LogSpace(lo, hi units.Intensity, n int) []units.Intensity {
 // the hypothetical Arndale-GPU supercomputer ("assembling 47 of the
 // mobile GPUs to match on peak power"). The count is rounded up.
 func PowerMatch(big, small Params) (int, error) {
-	ps := float64(small.PeakAvgPower())
+	ps := small.PeakAvgPower().Watts()
 	if ps <= 0 {
 		return 0, errors.New("model: small machine has no peak power")
 	}
-	k := float64(big.PeakAvgPower()) / ps
+	k := big.PeakAvgPower().Watts() / ps
 	if k < 1 {
 		return 1, nil
 	}
@@ -176,11 +176,11 @@ func PowerMatch(big, small Params) (int, error) {
 // the budget is false; if one copy already exceeds the budget it returns
 // 0 and an error.
 func PowerMatchWatts(small Params, budget units.Power) (int, error) {
-	ps := float64(small.PeakAvgPower())
+	ps := small.PeakAvgPower().Watts()
 	if ps <= 0 {
 		return 0, errors.New("model: machine has no peak power")
 	}
-	k := int(math.Floor(float64(budget)/ps + 1e-9))
+	k := int(math.Floor(budget.Watts()/ps + 1e-9))
 	if k < 1 {
 		return 0, errors.New("model: one copy already exceeds the power budget")
 	}

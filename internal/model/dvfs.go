@@ -112,8 +112,8 @@ func (d DVFS) AtFrequency(f float64) (Params, error) {
 	p.EpsFlop = units.EnergyPerFlop(float64(d.Base.EpsFlop) * vr * vr)
 	p.EpsMem = units.EnergyPerByte(float64(d.Base.EpsMem) * (1 - d.MemScaling + d.MemScaling*vr*vr))
 	// Constant power: fixed share + clock-tree share scaling as f*V^2.
-	fixed := float64(d.Base.Pi1) * (1 - d.Pi1FreqShare)
-	clocked := float64(d.Base.Pi1) * d.Pi1FreqShare * fr * vr * vr
+	fixed := d.Base.Pi1.Watts() * (1 - d.Pi1FreqShare)
+	clocked := d.Base.Pi1.Watts() * d.Pi1FreqShare * fr * vr * vr
 	p.Pi1 = units.Power(fixed + clocked)
 	return p, nil
 }
@@ -184,6 +184,6 @@ func (d DVFS) RaceToHaltGain(w units.Flops, i units.Intensity, piIdle units.Powe
 		return 0, errors.New("model: slow point is not slower; check scaling")
 	}
 	// Race finishes early and idles until the crawl deadline.
-	eRace := float64(eFast) + float64(piIdle)*float64(tSlow-tFast)
-	return eRace / float64(eSlow), nil
+	eRace := eFast.Joules() + piIdle.Watts()*(tSlow-tFast).Seconds()
+	return eRace / eSlow.Joules(), nil
 }

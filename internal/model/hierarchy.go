@@ -109,20 +109,20 @@ func (h Hierarchy) Validate() error {
 // Time generalizes eq. (3) to per-level traffic: flops and each level's
 // transfers overlap maximally, and the cap term pools all dynamic energy.
 func (h Hierarchy) Time(w units.Flops, traffic []LevelTraffic) (units.Time, error) {
-	tMax := float64(w) * float64(h.TauFlop)
-	dynamic := float64(w) * float64(h.EpsFlop)
+	tMax := w.Count() * float64(h.TauFlop)
+	dynamic := w.Count() * float64(h.EpsFlop)
 	for _, tr := range traffic {
 		p, err := h.ParamsFor(tr.Level)
 		if err != nil {
 			return 0, err
 		}
-		if t := float64(tr.Bytes) * float64(p.TauMem); t > tMax {
+		if t := tr.Bytes.Count() * float64(p.TauMem); t > tMax {
 			tMax = t
 		}
-		dynamic += float64(tr.Bytes) * float64(p.EpsMem)
+		dynamic += tr.Bytes.Count() * float64(p.EpsMem)
 	}
 	if dynamic > 0 {
-		if capT := dynamic / float64(h.DeltaPi); capT > tMax {
+		if capT := dynamic / h.DeltaPi.Watts(); capT > tMax {
 			tMax = capT
 		}
 	}
@@ -135,13 +135,13 @@ func (h Hierarchy) Energy(w units.Flops, traffic []LevelTraffic) (units.Energy, 
 	if err != nil {
 		return 0, err
 	}
-	e := float64(w)*float64(h.EpsFlop) + float64(h.Pi1)*float64(t)
+	e := w.Count()*float64(h.EpsFlop) + h.Pi1.Watts()*t.Seconds()
 	for _, tr := range traffic {
 		p, perr := h.ParamsFor(tr.Level)
 		if perr != nil {
 			return 0, perr
 		}
-		e += float64(tr.Bytes) * float64(p.EpsMem)
+		e += tr.Bytes.Count() * float64(p.EpsMem)
 	}
 	return units.Energy(e), nil
 }
@@ -164,11 +164,11 @@ func (r RandomAccessParams) TimeEnergy(n units.Accesses, base Params) (units.Tim
 	tAcc := float64(n) / float64(r.Rate)
 	dynamic := float64(n) * float64(r.Eps)
 	t := tAcc
-	if dynamic > 0 && float64(base.DeltaPi) > 0 {
-		if capT := dynamic / float64(base.DeltaPi); capT > t {
+	if dynamic > 0 && base.DeltaPi.Watts() > 0 {
+		if capT := dynamic / base.DeltaPi.Watts(); capT > t {
 			t = capT
 		}
 	}
-	e := dynamic + float64(base.Pi1)*t
+	e := dynamic + base.Pi1.Watts()*t
 	return units.Time(t), units.Energy(e), nil
 }

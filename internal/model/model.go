@@ -64,10 +64,10 @@ func (p Params) Validate() error {
 	if err := check("eps_mem", float64(p.EpsMem), false); err != nil {
 		return err
 	}
-	if err := check("pi_1", float64(p.Pi1), false); err != nil {
+	if err := check("pi_1", p.Pi1.Watts(), false); err != nil {
 		return err
 	}
-	return check("delta_pi", float64(p.DeltaPi), false)
+	return check("delta_pi", p.DeltaPi.Watts(), false)
 }
 
 // PeakFlopRate is the machine's peak computational throughput 1/tau_flop.
@@ -103,7 +103,7 @@ func (p Params) EnergyBalance() units.Intensity {
 // pi_mem, i.e. there is enough usable power to run flops and memory at
 // their peak rates simultaneously.
 func (p Params) Powerful() bool {
-	return float64(p.DeltaPi) >= float64(p.PiFlop())+float64(p.PiMem())
+	return p.DeltaPi.Watts() >= p.PiFlop().Watts()+p.PiMem().Watts()
 }
 
 // TimeBalancePlus is B_tau^+ of eq. (5): the upper edge of the cap-bound
@@ -111,12 +111,12 @@ func (p Params) Powerful() bool {
 // capped and the compute-bound regime never applies, so the result is
 // +Inf.
 func (p Params) TimeBalancePlus() units.Intensity {
-	bt := float64(p.TimeBalance())
-	headroom := float64(p.DeltaPi) - float64(p.PiFlop())
+	bt := p.TimeBalance().Ratio()
+	headroom := p.DeltaPi.Watts() - p.PiFlop().Watts()
 	if headroom <= 0 {
 		return units.Intensity(math.Inf(1))
 	}
-	return units.Intensity(bt * math.Max(1, float64(p.PiMem())/headroom))
+	return units.Intensity(bt * math.Max(1, p.PiMem().Watts()/headroom))
 }
 
 // TimeBalanceMinus is B_tau^- of eq. (6): the lower edge of the cap-bound
@@ -124,12 +124,12 @@ func (p Params) TimeBalancePlus() units.Intensity {
 // pure-streaming workload is capped and the memory-bound regime never
 // applies).
 func (p Params) TimeBalanceMinus() units.Intensity {
-	bt := float64(p.TimeBalance())
-	headroom := float64(p.DeltaPi) - float64(p.PiMem())
+	bt := p.TimeBalance().Ratio()
+	headroom := p.DeltaPi.Watts() - p.PiMem().Watts()
 	if headroom <= 0 {
 		return 0
 	}
-	pf := float64(p.PiFlop())
+	pf := p.PiFlop().Watts()
 	if pf == 0 {
 		return units.Intensity(bt)
 	}
@@ -144,12 +144,12 @@ func (p Params) TimeBalanceMinus() units.Intensity {
 // the dynamic power would exceed DeltaPi. A zero DeltaPi with nonzero
 // dynamic energy yields +Inf: the machine has no power to run anything.
 func (p Params) Time(w units.Flops, q units.Bytes) units.Time {
-	tFlop := float64(w) * float64(p.TauFlop)
-	tMem := float64(q) * float64(p.TauMem)
-	dynamic := float64(w)*float64(p.EpsFlop) + float64(q)*float64(p.EpsMem)
+	tFlop := w.Count() * float64(p.TauFlop)
+	tMem := q.Count() * float64(p.TauMem)
+	dynamic := w.Count()*float64(p.EpsFlop) + q.Count()*float64(p.EpsMem)
 	tCap := 0.0
 	if dynamic > 0 {
-		tCap = dynamic / float64(p.DeltaPi) // +Inf when DeltaPi == 0
+		tCap = dynamic / p.DeltaPi.Watts() // +Inf when DeltaPi == 0
 	}
 	return units.Time(math.Max(tFlop, math.Max(tMem, tCap)))
 }
@@ -157,7 +157,7 @@ func (p Params) Time(w units.Flops, q units.Bytes) units.Time {
 // TimeUncapped is the prior model's execution time, max(W tau_flop,
 // Q tau_mem), with no power cap.
 func (p Params) TimeUncapped(w units.Flops, q units.Bytes) units.Time {
-	return units.Time(math.Max(float64(w)*float64(p.TauFlop), float64(q)*float64(p.TauMem)))
+	return units.Time(math.Max(w.Count()*float64(p.TauFlop), q.Count()*float64(p.TauMem)))
 }
 
 // Energy is the total energy of eq. (1): E = W eps_flop + Q eps_mem +
@@ -172,9 +172,9 @@ func (p Params) EnergyUncapped(w units.Flops, q units.Bytes) units.Energy {
 }
 
 func (p Params) energyWith(w units.Flops, q units.Bytes, t units.Time) units.Energy {
-	return units.Energy(float64(w)*float64(p.EpsFlop) +
-		float64(q)*float64(p.EpsMem) +
-		float64(p.Pi1)*float64(t))
+	return units.Energy(w.Count()*float64(p.EpsFlop) +
+		q.Count()*float64(p.EpsMem) +
+		p.Pi1.Watts()*t.Seconds())
 }
 
 // AvgPower is the average instantaneous power E/T for a concrete (W, Q)
@@ -189,18 +189,18 @@ func (p Params) AvgPowerAt(i units.Intensity) units.Power {
 	if i <= 0 {
 		return units.Power(math.NaN())
 	}
-	pi1 := float64(p.Pi1)
-	pf := float64(p.PiFlop())
-	pm := float64(p.PiMem())
-	bt := float64(p.TimeBalance())
-	iv := float64(i)
+	pi1 := p.Pi1.Watts()
+	pf := p.PiFlop().Watts()
+	pm := p.PiMem().Watts()
+	bt := p.TimeBalance().Ratio()
+	iv := i.Ratio()
 	switch {
-	case iv >= float64(p.TimeBalancePlus()):
+	case iv >= p.TimeBalancePlus().Ratio():
 		return units.Power(pi1 + pf + pm*bt/iv)
-	case iv <= float64(p.TimeBalanceMinus()):
+	case iv <= p.TimeBalanceMinus().Ratio():
 		return units.Power(pi1 + pf*iv/bt + pm)
 	default:
-		return units.Power(pi1 + float64(p.DeltaPi))
+		return units.Power(pi1 + p.DeltaPi.Watts())
 	}
 }
 
@@ -208,8 +208,8 @@ func (p Params) AvgPowerAt(i units.Intensity) units.Power {
 // pi_mem when the cap never binds (attained at I = B_tau), else pi_1 +
 // DeltaPi.
 func (p Params) PeakAvgPower() units.Power {
-	dyn := math.Min(float64(p.DeltaPi), float64(p.PiFlop())+float64(p.PiMem()))
-	return units.Power(float64(p.Pi1) + dyn)
+	dyn := math.Min(p.DeltaPi.Watts(), p.PiFlop().Watts()+p.PiMem().Watts())
+	return units.Power(p.Pi1.Watts() + dyn)
 }
 
 // FlopRateAt is the achieved computational throughput W/T at intensity I,
@@ -232,18 +232,18 @@ func (p Params) FlopRateAtUncapped(i units.Intensity) units.FlopRate {
 	if i <= 0 {
 		return 0
 	}
-	t := float64(p.TauFlop) * math.Max(1, float64(p.TimeBalance())/float64(i))
+	t := float64(p.TauFlop) * math.Max(1, p.TimeBalance().Ratio()/i.Ratio())
 	return units.FlopRate(1 / t)
 }
 
 // timePerFlopAt is T/W from eq. (4) (seconds per flop at intensity I).
 func (p Params) timePerFlopAt(i units.Intensity) float64 {
 	tf := float64(p.TauFlop)
-	bt := float64(p.TimeBalance())
-	iv := float64(i)
+	bt := p.TimeBalance().Ratio()
+	iv := i.Ratio()
 	capTerm := 0.0
 	if dyn := float64(p.EpsFlop) + float64(p.EpsMem)/iv; dyn > 0 {
-		capTerm = dyn / float64(p.DeltaPi) / tf // (pi_flop/DeltaPi)(1+B_eps/I) when eps_flop>0
+		capTerm = dyn / p.DeltaPi.Watts() / tf // (pi_flop/DeltaPi)(1+B_eps/I) when eps_flop>0
 	}
 	return tf * math.Max(1, math.Max(bt/iv, capTerm))
 }
@@ -255,8 +255,8 @@ func (p Params) EnergyPerFlopAt(i units.Intensity) units.EnergyPerFlop {
 	if i <= 0 {
 		return units.EnergyPerFlop(math.Inf(1))
 	}
-	dyn := float64(p.EpsFlop) + float64(p.EpsMem)/float64(i)
-	return units.EnergyPerFlop(dyn + float64(p.Pi1)*p.timePerFlopAt(i))
+	dyn := float64(p.EpsFlop) + float64(p.EpsMem)/i.Ratio()
+	return units.EnergyPerFlop(dyn + p.Pi1.Watts()*p.timePerFlopAt(i))
 }
 
 // FlopsPerJouleAt is the energy efficiency W/E at intensity I, the
@@ -275,12 +275,12 @@ func (p Params) FlopsPerJouleAt(i units.Intensity) units.FlopsPerJoule {
 // headers.
 func (p Params) PeakFlopsPerJoule() units.FlopsPerJoule {
 	tpf := float64(p.TauFlop)
-	if float64(p.DeltaPi) > 0 {
-		tpf = math.Max(tpf, float64(p.EpsFlop)/float64(p.DeltaPi))
+	if p.DeltaPi.Watts() > 0 {
+		tpf = math.Max(tpf, float64(p.EpsFlop)/p.DeltaPi.Watts())
 	} else if p.EpsFlop > 0 {
 		return 0
 	}
-	e := float64(p.EpsFlop) + float64(p.Pi1)*tpf
+	e := float64(p.EpsFlop) + p.Pi1.Watts()*tpf
 	if e <= 0 {
 		return units.FlopsPerJoule(math.Inf(1))
 	}
@@ -293,12 +293,12 @@ func (p Params) PeakFlopsPerJoule() units.FlopsPerJoule {
 // the section V-B streaming-energy inversion example.
 func (p Params) PeakBytesPerJoule() units.BytesPerJoule {
 	tpb := float64(p.TauMem)
-	if float64(p.DeltaPi) > 0 {
-		tpb = math.Max(tpb, float64(p.EpsMem)/float64(p.DeltaPi))
+	if p.DeltaPi.Watts() > 0 {
+		tpb = math.Max(tpb, float64(p.EpsMem)/p.DeltaPi.Watts())
 	} else if p.EpsMem > 0 {
 		return 0
 	}
-	e := float64(p.EpsMem) + float64(p.Pi1)*tpb
+	e := float64(p.EpsMem) + p.Pi1.Watts()*tpb
 	if e <= 0 {
 		return units.BytesPerJoule(math.Inf(1))
 	}
@@ -312,10 +312,10 @@ func (p Params) PeakBytesPerJoule() units.BytesPerJoule {
 // eps_mem.
 func (p Params) StreamEnergyPerByte() units.EnergyPerByte {
 	tpb := float64(p.TauMem)
-	if float64(p.DeltaPi) > 0 {
-		tpb = math.Max(tpb, float64(p.EpsMem)/float64(p.DeltaPi))
+	if p.DeltaPi.Watts() > 0 {
+		tpb = math.Max(tpb, float64(p.EpsMem)/p.DeltaPi.Watts())
 	}
-	return units.EnergyPerByte(float64(p.EpsMem) + float64(p.Pi1)*tpb)
+	return units.EnergyPerByte(float64(p.EpsMem) + p.Pi1.Watts()*tpb)
 }
 
 // WithCap returns a copy of p with the usable power cap scaled by frac,
@@ -326,7 +326,7 @@ func (p Params) WithCap(frac float64) (Params, error) {
 		return Params{}, errors.New("model: cap fraction must be >= 0")
 	}
 	q := p
-	q.DeltaPi = units.Power(float64(p.DeltaPi) * frac)
+	q.DeltaPi = units.Power(p.DeltaPi.Watts() * frac)
 	return q, nil
 }
 
@@ -345,8 +345,8 @@ func (p Params) Scale(k float64) (Params, error) {
 		TauMem:  units.TimePerByte(float64(p.TauMem) / k),
 		EpsFlop: p.EpsFlop,
 		EpsMem:  p.EpsMem,
-		Pi1:     units.Power(float64(p.Pi1) * k),
-		DeltaPi: units.Power(float64(p.DeltaPi) * k),
+		Pi1:     units.Power(p.Pi1.Watts() * k),
+		DeltaPi: units.Power(p.DeltaPi.Watts() * k),
 	}, nil
 }
 

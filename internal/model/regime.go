@@ -51,20 +51,20 @@ func (r Regime) Letter() string {
 // [B_tau^-, B_tau^+]. When the cap never binds (Powerful), intensities
 // below B_tau are memory-bound and those at or above are compute-bound.
 func (p Params) RegimeAt(i units.Intensity) Regime {
-	iv := float64(i)
+	iv := i.Ratio()
 	if math.IsNaN(iv) {
 		return CapBound
 	}
 	if p.Powerful() {
-		if iv < float64(p.TimeBalance()) {
+		if iv < p.TimeBalance().Ratio() {
 			return MemoryBound
 		}
 		return ComputeBound
 	}
 	switch {
-	case iv >= float64(p.TimeBalancePlus()):
+	case iv >= p.TimeBalancePlus().Ratio():
 		return ComputeBound
-	case iv <= float64(p.TimeBalanceMinus()):
+	case iv <= p.TimeBalanceMinus().Ratio():
 		return MemoryBound
 	default:
 		return CapBound
@@ -81,8 +81,8 @@ func (p Params) ThrottleFactor(i units.Intensity) float64 {
 	}
 	w := units.Flops(1)
 	q := units.Intensity(i).Bytes(w)
-	tu := float64(p.TimeUncapped(w, q))
-	tc := float64(p.Time(w, q))
+	tu := p.TimeUncapped(w, q).Seconds()
+	tc := p.Time(w, q).Seconds()
 	if tu <= 0 {
 		return 1
 	}

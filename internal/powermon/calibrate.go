@@ -33,8 +33,8 @@ func Calibrate(m *Meter, reference units.Power, duration units.Time, rng *stats.
 	}
 	cal := &Calibration{Factors: map[string]float64{}}
 	for i, ch := range m.Channels {
-		measured := float64(tr.Channels[i].AvgPower())
-		expected := float64(reference) * ch.Share
+		measured := tr.Channels[i].AvgPower().Watts()
+		expected := reference.Watts() * ch.Share
 		if ch.Share == 0 {
 			cal.Factors[ch.Name] = 1
 			continue

@@ -128,7 +128,7 @@ func (ct *ChannelTrace) AvgPower() units.Power {
 	}
 	sum := 0.0
 	for _, s := range ct.Samples {
-		sum += float64(s.Power())
+		sum += s.Power().Watts()
 	}
 	return units.Power(sum / float64(len(ct.Samples)))
 }
@@ -176,18 +176,18 @@ func (m *Meter) Record(sig Signal, duration units.Time, rng *stats.Stream) (*Tra
 		return nil, errors.New("powermon: nil signal")
 	}
 	rate := m.EffectiveRate()
-	n := int(float64(duration) * rate)
+	n := int(duration.Seconds() * rate)
 	if n < 1 {
 		n = 1 // a very short run still yields one sample per channel
 	}
-	dt := float64(duration) / float64(n)
+	dt := duration.Seconds() / float64(n)
 	tr := &Trace{Duration: duration}
 	for _, ch := range m.Channels {
 		ctr := ChannelTrace{Channel: ch.Name, Samples: make([]Sample, n)}
 		for k := 0; k < n; k++ {
 			// Sample mid-interval, as an integrating ADC effectively does.
 			ts := units.Time((float64(k) + 0.5) * dt)
-			p := float64(sig(ts)) * ch.Share
+			p := sig(ts).Watts() * ch.Share
 			i := p / ch.Voltage
 			v := ch.Voltage
 			if rng != nil {
@@ -212,7 +212,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		for _, s := range ch.Samples {
 			rec := []string{
 				ch.Channel,
-				strconv.FormatFloat(float64(s.T), 'g', -1, 64),
+				strconv.FormatFloat(s.T.Seconds(), 'g', -1, 64),
 				strconv.FormatFloat(s.V, 'g', -1, 64),
 				strconv.FormatFloat(s.I, 'g', -1, 64),
 			}
@@ -267,7 +267,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	// an interval past the last sample.
 	first := tr.Channels[0].Samples
 	if len(first) >= 2 {
-		dt := float64(first[1].T - first[0].T)
+		dt := (first[1].T - first[0].T).Seconds()
 		tr.Duration = units.Time(maxT + dt/2)
 	} else {
 		tr.Duration = units.Time(2 * maxT)

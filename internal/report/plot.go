@@ -65,9 +65,11 @@ func (p *Plot) Render() string {
 		b.WriteString("(no data)\n")
 		return b.String()
 	}
+	//archlint:ignore floatcmp exact equality is the degenerate-range guard; approximate would misfire on tiny ranges
 	if xmax == xmin {
 		xmax = xmin * 2
 	}
+	//archlint:ignore floatcmp exact equality is the degenerate-range guard; approximate would misfire on tiny ranges
 	if ymax == ymin {
 		ymax = ymin + 1
 	}

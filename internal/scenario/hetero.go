@@ -76,16 +76,16 @@ func SplitForTime(pool []HeteroMachine, w units.Flops, i units.Intensity) (*Hete
 	if totalRate <= 0 {
 		return nil, errors.New("scenario: pool has no throughput at this intensity")
 	}
-	makespan := float64(w) / totalRate
+	makespan := w.Count() / totalRate
 	out := &HeteroSplit{Time: units.Time(makespan)}
 	var energy float64
 	for k, m := range pool {
 		frac := rates[k] / totalRate
-		wk := units.Flops(float64(w) * frac)
+		wk := units.Flops(w.Count() * frac)
 		qk := i.Bytes(wk)
 		// All machines run the full makespan by construction.
-		e := float64(wk)*float64(m.Params.EpsFlop) + float64(qk)*float64(m.Params.EpsMem) +
-			float64(m.Params.Pi1)*float64(m.Count)*makespan
+		e := wk.Count()*float64(m.Params.EpsFlop) + qk.Count()*float64(m.Params.EpsMem) +
+			m.Params.Pi1.Watts()*float64(m.Count)*makespan
 		energy += e
 		out.Shares = append(out.Shares, HeteroShare{
 			Name:     m.Name,
@@ -120,14 +120,14 @@ func SplitForEnergy(pool []HeteroMachine, w units.Flops, i units.Intensity,
 	}
 	cands := make([]cand, len(pool))
 	for k, m := range pool {
-		dyn := float64(m.Params.EpsFlop) + float64(m.Params.EpsMem)/float64(i)
-		capacity := float64(m.Params.FlopRateAt(i)) * float64(m.Count) * float64(deadline)
+		dyn := float64(m.Params.EpsFlop) + float64(m.Params.EpsMem)/i.Ratio()
+		capacity := float64(m.Params.FlopRateAt(i)) * float64(m.Count) * deadline.Seconds()
 		cands[k] = cand{idx: k, marginal: dyn, capacity: capacity}
 	}
 	sort.SliceStable(cands, func(a, b int) bool { return cands[a].marginal < cands[b].marginal })
 
 	assigned := make([]float64, len(pool))
-	remaining := float64(w)
+	remaining := w.Count()
 	for _, c := range cands {
 		if remaining <= 0 {
 			break
@@ -139,15 +139,15 @@ func SplitForEnergy(pool []HeteroMachine, w units.Flops, i units.Intensity,
 		assigned[c.idx] = take
 		remaining -= take
 	}
-	if remaining > 1e-9*float64(w) {
+	if remaining > 1e-9*w.Count() {
 		return nil, errors.New("scenario: pool cannot meet the deadline")
 	}
 	out := &HeteroSplit{Time: deadline}
 	var energy float64
 	for k, m := range pool {
 		wk := assigned[k]
-		dyn := wk * (float64(m.Params.EpsFlop) + float64(m.Params.EpsMem)/float64(i))
-		e := dyn + float64(m.Params.Pi1)*float64(m.Count)*float64(deadline)
+		dyn := wk * (float64(m.Params.EpsFlop) + float64(m.Params.EpsMem)/i.Ratio())
+		e := dyn + m.Params.Pi1.Watts()*float64(m.Count)*deadline.Seconds()
 		energy += e
 		busy := 0.0
 		if rate := float64(m.Params.FlopRateAt(i)) * float64(m.Count); rate > 0 {
@@ -155,7 +155,7 @@ func SplitForEnergy(pool []HeteroMachine, w units.Flops, i units.Intensity,
 		}
 		out.Shares = append(out.Shares, HeteroShare{
 			Name:     m.Name,
-			Fraction: wk / float64(w),
+			Fraction: wk / w.Count(),
 			Time:     units.Time(busy),
 			Energy:   units.Energy(e),
 		})

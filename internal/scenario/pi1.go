@@ -53,10 +53,10 @@ func Pi1Reduction(platforms []*machine.Platform, lo, hi units.Intensity) ([]Pi1S
 		base := float64(plat.Single.PeakFlopsPerJoule())
 		for _, f := range factors {
 			p := plat.Single
-			p.Pi1 = units.Power(float64(p.Pi1) * f)
+			p.Pi1 = units.Power(p.Pi1.Watts() * f)
 			minP, maxP := 0.0, 0.0
 			for k, i := range grid {
-				v := float64(p.AvgPowerAt(i))
+				v := p.AvgPowerAt(i).Watts()
 				if k == 0 || v < minP {
 					minP = v
 				}

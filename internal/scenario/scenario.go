@@ -171,11 +171,11 @@ func PowerReduction(p model.Params, frac float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	orig := float64(p.PeakAvgPower())
+	orig := p.PeakAvgPower().Watts()
 	if orig <= 0 {
 		return 0, errors.New("scenario: machine has no peak power")
 	}
-	return float64(capped.PeakAvgPower()) / orig, nil
+	return capped.PeakAvgPower().Watts() / orig, nil
 }
 
 // StreamCost is a platform's total cost of streaming one byte, section
@@ -245,7 +245,7 @@ func ConstantPowerAnalysis(platforms []*machine.Platform, lo, hi units.Intensity
 
 		minP, maxP := math.Inf(1), 0.0
 		for _, i := range grid {
-			v := float64(p.Single.AvgPowerAt(i))
+			v := p.Single.AvgPowerAt(i).Watts()
 			minP = math.Min(minP, v)
 			maxP = math.Max(maxP, v)
 		}
@@ -290,11 +290,11 @@ func PowerBound(big, small model.Params, budget units.Power, i units.Intensity) 
 	if i <= 0 {
 		return nil, errors.New("scenario: intensity must be positive")
 	}
-	if float64(budget) <= float64(big.Pi1) {
+	if budget.Watts() <= big.Pi1.Watts() {
 		return nil, fmt.Errorf("scenario: budget %v below the big machine's constant power %v",
 			budget, big.Pi1)
 	}
-	frac := (float64(budget) - float64(big.Pi1)) / float64(big.DeltaPi)
+	frac := (budget.Watts() - big.Pi1.Watts()) / big.DeltaPi.Watts()
 	if frac > 1 {
 		frac = 1
 	}
@@ -309,11 +309,11 @@ func PowerBound(big, small model.Params, budget units.Power, i units.Intensity) 
 	}
 	res.BigPerfRatio = float64(capped.FlopRateAt(i)) / float64(big.FlopRateAt(i))
 
-	peakSmall := float64(small.PeakAvgPower())
+	peakSmall := small.PeakAvgPower().Watts()
 	if peakSmall <= 0 {
 		return nil, errors.New("scenario: small machine has no peak power")
 	}
-	k := int(math.Round(float64(budget) / peakSmall))
+	k := int(math.Round(budget.Watts() / peakSmall))
 	if k < 1 {
 		return nil, errors.New("scenario: budget below one small machine")
 	}

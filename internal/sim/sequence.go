@@ -32,7 +32,7 @@ func (s *Simulator) RunSequence(kernels []Kernel) (*SequenceResult, error) {
 			return nil, err
 		}
 		res.Runs = append(res.Runs, r)
-		total += float64(r.TrueTime)
+		total += r.TrueTime.Seconds()
 		res.Boundaries = append(res.Boundaries, units.Time(total))
 	}
 	res.Total = units.Time(total)

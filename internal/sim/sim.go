@@ -122,12 +122,12 @@ func (k Kernel) Validate() error {
 // Intensity is the kernel's nominal operational intensity in flop:Byte,
 // assuming all traffic comes from the target level.
 func (k Kernel) Intensity() units.Intensity {
-	return units.Intensity(k.FlopsPerWord / float64(k.Precision.Bytes()))
+	return units.Intensity(k.FlopsPerWord / k.Precision.Bytes().Count())
 }
 
 // Work returns the flop count the kernel executes.
 func (k Kernel) Work() units.Flops {
-	words := float64(k.WorkingSet) / float64(k.Precision.Bytes())
+	words := k.WorkingSet.Count() / k.Precision.Bytes().Count()
 	return units.Flops(k.FlopsPerWord * words * float64(k.Passes))
 }
 
@@ -343,9 +343,9 @@ func (s *Simulator) Run(k Kernel) (RunResult, error) {
 // (streaming), while strides at or beyond the line size transfer a full
 // line per useful word.
 func (s *Simulator) strideFactors(k Kernel) (usefulWords float64, transferred units.Bytes) {
-	stride := float64(k.StrideBytes)
-	line := float64(s.plat.CacheLine)
-	usefulWords = math.Floor(float64(k.WorkingSet) / stride)
+	stride := k.StrideBytes.Count()
+	line := s.plat.CacheLine.Count()
+	usefulWords = math.Floor(k.WorkingSet.Count() / stride)
 	if usefulWords < 1 {
 		usefulWords = 1
 	}
@@ -365,17 +365,17 @@ func (s *Simulator) runStream(k Kernel) (RunResult, error) {
 		return RunResult{}, err
 	}
 	w := k.Work()
-	q := units.Bytes(float64(k.WorkingSet) * float64(k.Passes))
+	q := units.Bytes(k.WorkingSet.Count() * float64(k.Passes))
 	if k.Pattern == StridedPattern {
 		usefulWords, transferred := s.strideFactors(k)
 		// Work only covers the touched words; traffic covers the lines
 		// actually moved.
 		w = units.Flops(k.FlopsPerWord * usefulWords * float64(k.Passes))
-		q = units.Bytes(float64(transferred) * float64(k.Passes))
+		q = units.Bytes(transferred.Count() * float64(k.Passes))
 	}
 
-	trueTime := float64(params.Time(w, q))
-	dynEnergy := float64(w)*float64(params.EpsFlop) + float64(q)*float64(params.EpsMem)
+	trueTime := params.Time(w, q).Seconds()
+	dynEnergy := w.Count()*float64(params.EpsFlop) + q.Count()*float64(params.EpsMem)
 
 	// Quirks change the physics before noise is added.
 	trueTime, dynEnergy = s.applyQuirks(k, params, trueTime, dynEnergy)
@@ -391,7 +391,7 @@ func (s *Simulator) runChase(k Kernel) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("sim: %s does not support double", s.plat.Name)
 	}
 	r := *s.plat.Rand
-	lines := math.Floor(float64(k.WorkingSet) / float64(r.Line))
+	lines := math.Floor(k.WorkingSet.Count() / r.Line.Count())
 	if lines < 1 {
 		return RunResult{}, errors.New("sim: working set below one cache line")
 	}
@@ -400,16 +400,16 @@ func (s *Simulator) runChase(k Kernel) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	dynEnergy := float64(e) - float64(s.plat.Single.Pi1)*float64(t)
-	q := units.Bytes(float64(n) * float64(r.Line))
-	res, err := s.finish(k, model.LevelRand, 0, q, n, float64(t), dynEnergy)
+	dynEnergy := e.Joules() - s.plat.Single.Pi1.Watts()*t.Seconds()
+	q := units.Bytes(float64(n) * r.Line.Count())
+	res, err := s.finish(k, model.LevelRand, 0, q, n, t.Seconds(), dynEnergy)
 	return res, err
 }
 
 // applyQuirks adjusts true time and dynamic energy for the platform's
 // documented second-order behaviours.
 func (s *Simulator) applyQuirks(k Kernel, params model.Params, trueTime, dynEnergy float64) (float64, float64) {
-	i := float64(k.Intensity())
+	i := k.Intensity().Ratio()
 	if s.plat.HasQuirk(machine.QuirkUtilizationScaling) && i > 0 {
 		// Arndale GPU: active energy-efficiency scaling with utilisation.
 		// Near the balance point the hardware is measurably *more*
@@ -421,7 +421,7 @@ func (s *Simulator) applyQuirks(k Kernel, params model.Params, trueTime, dynEner
 		// dynamic power than the cap while doing so, so measured power at
 		// mid intensities sits below the model's flat cap line, exactly
 		// the fig. 5 Arndale-GPU panel shape.
-		bt := float64(params.TimeBalance())
+		bt := params.TimeBalance().Ratio()
 		x := math.Log(i / bt)
 		dynEnergy *= 1 - 0.12*math.Exp(-x*x/2)
 	}
@@ -449,7 +449,7 @@ func (s *Simulator) finish(k Kernel, level model.MemLevel, w units.Flops, q unit
 		trueTime *= rng.LogNormalFactor(sigma)
 	}
 	dynPower := dynEnergy / trueTime
-	pi1 := float64(s.plat.Single.Pi1)
+	pi1 := s.plat.Single.Pi1.Watts()
 
 	// The power signal: constant power plus dynamic power, with slow
 	// utilisation wiggle so traces are not perfectly flat.
@@ -458,7 +458,7 @@ func (s *Simulator) finish(k Kernel, level model.MemLevel, w units.Flops, q unit
 	sig := func(ts units.Time) units.Power {
 		p := pi1 + dynPower
 		if !noiseless {
-			p += 0.01 * dynPower * math.Sin(wiggleSeed+2*math.Pi*float64(ts)*37)
+			p += 0.01 * dynPower * math.Sin(wiggleSeed+2*math.Pi*ts.Seconds()*37)
 		}
 		return units.Power(p)
 	}

@@ -21,7 +21,7 @@ type Stream struct {
 // NewStream derives a deterministic stream from a seed and a label.
 func NewStream(seed uint64, label string) *Stream {
 	h := fnv.New64a()
-	h.Write([]byte(label))
+	h.Write([]byte(label)) //archlint:ignore errdrop hash.Hash.Write is documented never to return an error
 	return &Stream{state: seed ^ h.Sum64()}
 }
 

@@ -312,6 +312,7 @@ func ranks(xs []float64) []float64 {
 	out := make([]float64, len(xs))
 	for i := 0; i < len(s); {
 		j := i
+		//archlint:ignore floatcmp rank ties must use exact equality; fuzzy ties would change the statistic
 		for j < len(s) && s[j].v == s[i].v {
 			j++
 		}

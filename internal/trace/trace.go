@@ -42,7 +42,7 @@ func FromTrace(tr *powermon.Trace) ([]Point, error) {
 	for k := 0; k < n; k++ {
 		var sum float64
 		for _, ch := range tr.Channels {
-			sum += float64(ch.Samples[k].Power())
+			sum += ch.Samples[k].Power().Watts()
 		}
 		pts[k] = Point{T: tr.Channels[0].Samples[k].T, P: units.Power(sum)}
 	}
@@ -59,14 +59,14 @@ func Energy(pts []Point, end units.Time) (units.Energy, error) {
 	if end <= 0 {
 		return 0, errors.New("trace: end must be positive")
 	}
-	e := float64(pts[0].P) * float64(pts[0].T) // leading edge
+	e := pts[0].P.Watts() * pts[0].T.Seconds() // leading edge
 	for k := 1; k < len(pts); k++ {
-		dt := float64(pts[k].T - pts[k-1].T)
-		e += 0.5 * (float64(pts[k].P) + float64(pts[k-1].P)) * dt
+		dt := (pts[k].T - pts[k-1].T).Seconds()
+		e += 0.5 * (pts[k].P.Watts() + pts[k-1].P.Watts()) * dt
 	}
 	last := pts[len(pts)-1]
-	if tail := float64(end - last.T); tail > 0 {
-		e += float64(last.P) * tail
+	if tail := (end - last.T).Seconds(); tail > 0 {
+		e += last.P.Watts() * tail
 	}
 	return units.Energy(e), nil
 }
@@ -77,11 +77,11 @@ func Cumulative(pts []Point) []units.Energy {
 	if len(pts) == 0 {
 		return out
 	}
-	acc := float64(pts[0].P) * float64(pts[0].T)
+	acc := pts[0].P.Watts() * pts[0].T.Seconds()
 	out[0] = units.Energy(acc)
 	for k := 1; k < len(pts); k++ {
-		dt := float64(pts[k].T - pts[k-1].T)
-		acc += 0.5 * (float64(pts[k].P) + float64(pts[k-1].P)) * dt
+		dt := (pts[k].T - pts[k-1].T).Seconds()
+		acc += 0.5 * (pts[k].P.Watts() + pts[k-1].P.Watts()) * dt
 		out[k] = units.Energy(acc)
 	}
 	return out
@@ -108,7 +108,7 @@ func MovingAverage(pts []Point, window int) []Point {
 		}
 		sum := 0.0
 		for j := lo; j <= hi; j++ {
-			sum += float64(pts[j].P)
+			sum += pts[j].P.Watts()
 		}
 		out[k] = Point{T: pts[k].T, P: units.Power(sum / float64(hi-lo+1))}
 	}
@@ -122,7 +122,7 @@ func Percentile(pts []Point, q float64) units.Power {
 	}
 	vals := make([]float64, len(pts))
 	for i, p := range pts {
-		vals[i] = float64(p.P)
+		vals[i] = p.P.Watts()
 	}
 	sort.Float64s(vals)
 	h := q * float64(len(vals)-1)
@@ -170,7 +170,7 @@ func DetectPhases(pts []Point, minLen int, relThreshold float64) ([]Phase, error
 	// Prefix sums for O(1) window means.
 	prefix := make([]float64, n+1)
 	for k, p := range pts {
-		prefix[k+1] = prefix[k] + float64(p.P)
+		prefix[k+1] = prefix[k] + p.P.Watts()
 	}
 	mean := func(lo, hi int) float64 { return (prefix[hi] - prefix[lo]) / float64(hi-lo) }
 
@@ -193,6 +193,7 @@ func DetectPhases(pts []Point, minLen int, relThreshold float64) ([]Phase, error
 		}
 		isMax := true
 		for j := maxInt(m, k-m); j <= minInt(n-m, k+m); j++ {
+			//archlint:ignore floatcmp exact tie-break keeps peak selection deterministic
 			if diff[j] > diff[k] || (diff[j] == diff[k] && j < k) {
 				isMax = j == k
 				if !isMax {
@@ -218,7 +219,7 @@ func DetectPhases(pts []Point, minLen int, relThreshold float64) ([]Phase, error
 func summarise(pts []Point, lo, hi int) Phase {
 	sum := 0.0
 	for _, p := range pts[lo:hi] {
-		sum += float64(p.P)
+		sum += p.P.Watts()
 	}
 	return Phase{
 		Start:    pts[lo].T,

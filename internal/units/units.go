@@ -79,6 +79,18 @@ func (e Energy) Joules() float64 { return float64(e) }
 // Watts returns p as a plain float64 number of watts.
 func (p Power) Watts() float64 { return float64(p) }
 
+// Count returns w as a plain float64 number of flops.
+func (w Flops) Count() float64 { return float64(w) }
+
+// Count returns q as a plain float64 number of bytes.
+func (q Bytes) Count() float64 { return float64(q) }
+
+// Count returns a as a plain float64 number of accesses.
+func (a Accesses) Count() float64 { return float64(a) }
+
+// Ratio returns i as a plain float64 flop:byte ratio.
+func (i Intensity) Ratio() float64 { return float64(i) }
+
 // Over divides an energy by a time, yielding the average power.
 func (e Energy) Over(t Time) Power {
 	if t <= 0 {

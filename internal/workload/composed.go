@@ -58,8 +58,8 @@ func (a App) Total() (Profile, error) {
 	}
 	var w, q, r float64
 	for _, p := range a.Phases {
-		w += float64(p.W)
-		q += float64(p.Q)
+		w += p.W.Count()
+		q += p.Q.Count()
 		r += float64(p.RandomAccesses)
 	}
 	it := float64(a.Iterations)
@@ -96,8 +96,8 @@ func PlaceApp(a App, m model.Params, rand *model.RandomAccessParams) (AppPlaceme
 			return AppPlacement{}, fmt.Errorf("workload: phase %s: %w", p.Name, err)
 		}
 		out.Phases = append(out.Phases, pl)
-		t += float64(pl.Time)
-		e += float64(pl.Energy)
+		t += pl.Time.Seconds()
+		e += pl.Energy.Joules()
 	}
 	it := float64(a.Iterations)
 	out.Time = units.Time(t * it)

@@ -46,6 +46,7 @@ func validate(n int64, word, z float64) error {
 	if n <= 0 {
 		return errors.New("workload: n must be positive")
 	}
+	//archlint:ignore floatcmp word size is a discrete enum (4 or 8) carried in a float64
 	if word != WordSingle && word != WordDouble {
 		return fmt.Errorf("workload: word size %v must be 4 or 8", word)
 	}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# ci.sh — continuous-integration entry point.
+#
+# Same gate as scripts/check.sh but with test caching disabled
+# (GOFLAGS=-count=1) so every run re-executes the suite, and with a
+# per-analyzer summary of archlint findings (total and suppressed) on
+# stderr. Exits nonzero if the build, vet, tests, or any unsuppressed
+# archlint finding fails.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export GOFLAGS=-count=1
+
+echo "ci: go build"
+go build ./...
+
+echo "ci: go vet"
+go vet ./...
+
+echo "ci: go test -race"
+go test -race ./...
+
+echo "ci: archlint"
+go run ./cmd/archlint -summary ./...
+
+echo "ci: OK"
