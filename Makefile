@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check ci fmt
+.PHONY: build test race vet lint check ci fmt serve
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,7 @@ ci:
 
 fmt:
 	gofmt -w .
+
+## serve runs archlined, the HTTP/JSON query daemon, on :8080.
+serve:
+	$(GO) run ./cmd/archlined

@@ -22,12 +22,16 @@
 package archline
 
 import (
+	"context"
+	"io"
+
 	"archline/internal/cluster"
 	"archline/internal/experiments"
 	"archline/internal/machine"
 	"archline/internal/microbench"
 	"archline/internal/model"
 	"archline/internal/scenario"
+	"archline/internal/server"
 	"archline/internal/sim"
 	"archline/internal/units"
 	"archline/internal/workload"
@@ -317,4 +321,23 @@ func SplitForTime(pool []HeteroMachine, w Flops, i Intensity) (*HeteroSplit, err
 // under a deadline.
 func SplitForEnergy(pool []HeteroMachine, w Flops, i Intensity, deadline Time) (*HeteroSplit, error) {
 	return scenario.SplitForEnergy(pool, w, i, deadline)
+}
+
+// ServerConfig tunes archlined, the HTTP/JSON query daemon over the
+// model, platform database, and scenario engines (see internal/server
+// and cmd/archlined).
+type ServerConfig = server.Config
+
+// Server is an embeddable archlined instance; Handler() exposes it for
+// mounting into an existing mux, Run() serves it standalone.
+type Server = server.Server
+
+// NewServer builds an archlined instance (zero config fields take
+// defaults).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// RunServer serves archlined on cfg.Addr until ctx is cancelled, then
+// drains gracefully.
+func RunServer(ctx context.Context, cfg ServerConfig, stdout, stderr io.Writer) error {
+	return server.Run(ctx, cfg, stdout, stderr)
 }

@@ -1,0 +1,14 @@
+// Command archlined runs the energy-roofline query daemon: an HTTP/JSON
+// API over the model, platform database, and what-if scenario engines.
+// It is `archline serve` packaged as a standalone binary.
+package main
+
+import (
+	"os"
+
+	"archline/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(append([]string{"serve"}, os.Args[1:]...), os.Stdout, os.Stderr))
+}

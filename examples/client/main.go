@@ -1,0 +1,90 @@
+// client asks a running archlined daemon the paper's fig. 1 question —
+// GTX Titan versus the power-matched Arndale GPU aggregate — using only
+// the HTTP API, the way a dashboard or notebook would. Start the daemon
+// first:
+//
+//	archline serve -addr :8080        (or: go run ./cmd/archlined)
+//	go run ./examples/client -url http://localhost:8080
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// compareResult mirrors the /v1/compare response fields the report
+// needs; extra fields in the response are ignored.
+type compareResult struct {
+	AName    string `json:"a_name"`
+	BName    string `json:"b_name"`
+	AggCount int    `json:"agg_count"`
+
+	EnergyCrossover  *float64 `json:"energy_crossover"`
+	AggPerfCrossover *float64 `json:"agg_perf_crossover"`
+	MaxAggSpeedup    float64  `json:"max_agg_speedup"`
+	AggPeakFraction  float64  `json:"agg_peak_fraction"`
+
+	Eff []struct {
+		Name   string `json:"name"`
+		Points []struct {
+			Intensity float64 `json:"intensity"`
+			Value     float64 `json:"value"`
+		} `json:"points"`
+	} `json:"eff"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "archlined base URL")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	resp, err := client.Post(*url+"/v1/compare", "application/json", strings.NewReader(
+		`{"a": {"platform_id": "gtx-titan"}, "b": {"platform_id": "arndale-gpu"},
+		  "imin": 0.125, "imax": 256, "points": 48}`))
+	if err != nil {
+		log.Fatalf("is archlined running? %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error struct{ Message string } `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&envelope)
+		log.Fatalf("compare failed: %s: %s", resp.Status, envelope.Error.Message)
+	}
+	var cmp compareResult
+	if err := json.NewDecoder(resp.Body).Decode(&cmp); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fig. 1 via HTTP: %s vs %s\n\n", cmp.AName, cmp.BName)
+	fmt.Printf("power-matched aggregate: %d x %s\n", cmp.AggCount, cmp.BName)
+	if cmp.EnergyCrossover != nil {
+		fmt.Printf("energy-efficiency crossover: single blocks tie at I = %.2f flop:Byte\n",
+			*cmp.EnergyCrossover)
+	} else {
+		fmt.Println("no energy-efficiency crossover on the swept range")
+	}
+	if cmp.AggPerfCrossover != nil {
+		fmt.Printf("aggregate performance crossover at I = %.2f flop:Byte\n", *cmp.AggPerfCrossover)
+	}
+	fmt.Printf("max aggregate speedup over %s: %.2fx\n", cmp.AName, cmp.MaxAggSpeedup)
+	fmt.Printf("aggregate peak fraction at high intensity: %.2f\n\n", cmp.AggPeakFraction)
+
+	if len(cmp.Eff) == 3 {
+		fmt.Println("intensity    big flop/J     small flop/J   small/big")
+		points := cmp.Eff[0].Points
+		small := cmp.Eff[1].Points
+		for k := 0; k < len(points) && k < len(small); k += 8 {
+			fmt.Printf("%9.3f   %10.2f G   %10.2f G      %.2f\n",
+				points[k].Intensity, points[k].Value/1e9, small[k].Value/1e9,
+				small[k].Value/points[k].Value)
+		}
+	}
+}

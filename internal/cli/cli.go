@@ -5,12 +5,16 @@
 package cli
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"archline/internal/experiments"
 	"archline/internal/fit"
@@ -18,9 +22,23 @@ import (
 	"archline/internal/microbench"
 	"archline/internal/model"
 	"archline/internal/report"
+	"archline/internal/server"
 	"archline/internal/sim"
 	"archline/internal/units"
 )
+
+// Exit codes: usage errors (bad flags, unknown commands) are
+// distinguished from runtime failures so scripts can tell a typo from a
+// genuinely failed computation.
+const (
+	ExitOK      = 0
+	ExitRuntime = 1
+	ExitUsage   = 2
+)
+
+// ErrUsage marks an error as the caller's mistake (unknown command,
+// unsupported flag combination); Main maps it to ExitUsage.
+var ErrUsage = errors.New("usage error")
 
 // Usage is the help text.
 const Usage = `usage: archline [flags] <command>
@@ -47,6 +65,9 @@ commands:
   list       List the twelve platforms
   experiments-md  Emit EXPERIMENTS.md (paper-vs-measured record)
   all        Run everything in paper order
+  serve      Run archlined, the HTTP/JSON query daemon (own flags; -h lists them)
+
+exit codes: 0 success, 1 runtime failure, 2 usage error
 `
 
 // Main parses args (excluding the program name) and runs the command,
@@ -59,7 +80,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	// code. A failed stderr write has no further recovery path.
 	fail := func(err error) int {
 		_, _ = fmt.Fprintln(stderr, "archline:", err)
-		return 1
+		if errors.Is(err, ErrUsage) {
+			return ExitUsage
+		}
+		return ExitRuntime
 	}
 	var (
 		seed       = fs.Uint64("seed", 42, "simulation noise seed")
@@ -75,11 +99,16 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return ExitUsage
+	}
+	// serve takes its own flag set (daemon tuning is disjoint from the
+	// experiment flags), so hand everything after the command to it.
+	if fs.NArg() >= 1 && fs.Arg(0) == "serve" {
+		return serveMain(fs.Args()[1:], stdout, stderr)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return 2
+		return ExitUsage
 	}
 	opts := experiments.Options{
 		Seed:        *seed,
@@ -102,12 +131,52 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		if err := RunOn(fs.Arg(0), opts, custom, stdout); err != nil {
 			return fail(err)
 		}
-		return 0
+		return ExitOK
 	}
 	if err := Run(fs.Arg(0), opts, machine.ID(*platform), stdout); err != nil {
 		return fail(err)
 	}
-	return 0
+	return ExitOK
+}
+
+// serveContext builds the daemon's run context. It is a variable so cli
+// tests can substitute a cancellable context for the signal-driven one.
+var serveContext = func() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// serveMain runs the archlined daemon until SIGINT/SIGTERM.
+func serveMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("archline serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", server.DefaultAddr, "listen address (host:port; port 0 is ephemeral)")
+		entries = fs.Int("cache-entries", server.DefaultCacheEntries, "response LRU cache capacity")
+		timeout = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request processing deadline")
+		maxBody = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+		drain   = fs.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return ExitUsage
+	}
+	if fs.NArg() != 0 {
+		_, _ = fmt.Fprintf(stderr, "archline serve: unexpected argument %q\n", fs.Arg(0))
+		return ExitUsage
+	}
+	ctx, cancel := serveContext()
+	defer cancel()
+	cfg := server.Config{
+		Addr:           *addr,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		CacheEntries:   *entries,
+		DrainTimeout:   *drain,
+	}
+	if err := server.Run(ctx, cfg, stdout, stderr); err != nil {
+		_, _ = fmt.Fprintln(stderr, "archline serve:", err)
+		return ExitRuntime
+	}
+	return ExitOK
 }
 
 // RunOn dispatches the per-platform subcommands against a custom
@@ -122,7 +191,7 @@ func RunOn(cmd string, opts experiments.Options, plat *machine.Platform, w io.Wr
 	case "roofline":
 		return rooflinePlatform(plat, w)
 	default:
-		return fmt.Errorf("command %q does not support -platform-file (use fit, sweep, or roofline)", cmd)
+		return fmt.Errorf("%w: command %q does not support -platform-file (use fit, sweep, or roofline)", ErrUsage, cmd)
 	}
 }
 
@@ -207,7 +276,7 @@ func Run(cmd string, opts experiments.Options, plat machine.ID, w io.Writer) err
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return fmt.Errorf("%w: unknown command %q", ErrUsage, cmd)
 	}
 }
 

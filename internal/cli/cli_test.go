@@ -2,9 +2,14 @@ package cli
 
 import (
 	"bytes"
+	"context"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"archline/internal/experiments"
 	"archline/internal/machine"
@@ -135,11 +140,16 @@ func TestMainExitCodes(t *testing.T) {
 		t.Error("usage should print on stderr")
 	}
 	errb.Reset()
-	if code := Main([]string{"bogus"}, &out, &errb); code != 1 {
-		t.Errorf("unknown command should exit 1, got %d", code)
+	if code := Main([]string{"bogus"}, &out, &errb); code != ExitUsage {
+		t.Errorf("unknown command should exit %d (usage), got %d", ExitUsage, code)
 	}
-	if code := Main([]string{"-badflag"}, &out, &errb); code != 2 {
+	if code := Main([]string{"-badflag"}, &out, &errb); code != ExitUsage {
 		t.Error("bad flag should exit 2")
+	}
+	// Runtime failures (valid command, bad input) exit 1, not 2.
+	errb.Reset()
+	if code := Main([]string{"-platform", "no-such-platform", "sweep"}, &out, &errb); code != ExitRuntime {
+		t.Errorf("unknown platform should exit %d (runtime), got %d", ExitRuntime, code)
 	}
 	// Flags reach the command.
 	out.Reset()
@@ -215,10 +225,11 @@ func TestPlatformFileFlow(t *testing.T) {
 	if !strings.Contains(out.String(), "time roofline") {
 		t.Error("roofline output missing")
 	}
-	// Unsupported command with a platform file.
+	// Unsupported command with a platform file: the caller's mistake, so
+	// it is a usage error, not a runtime failure.
 	errb.Reset()
-	if code := Main([]string{"-platform-file", path, "fig5"}, &out, &errb); code != 1 {
-		t.Error("fig5 with platform-file should fail")
+	if code := Main([]string{"-platform-file", path, "fig5"}, &out, &errb); code != ExitUsage {
+		t.Errorf("fig5 with platform-file should exit %d (usage), got %d", ExitUsage, code)
 	}
 	if !strings.Contains(errb.String(), "does not support") {
 		t.Error("error message should explain")
@@ -234,6 +245,96 @@ func TestPlatformFileFlow(t *testing.T) {
 	}
 	if code := Main([]string{"-platform-file", bad, "sweep"}, &out, &errb); code != 1 {
 		t.Error("malformed file should fail")
+	}
+}
+
+// lockedBuffer is a goroutine-safe writer for daemon output.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestServeCommand(t *testing.T) {
+	// Substitute a test-cancellable context for the signal-driven one.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	orig := serveContext
+	serveContext = func() (context.Context, context.CancelFunc) {
+		return context.WithCancel(ctx)
+	}
+	defer func() { serveContext = orig }()
+
+	var out, errb lockedBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- Main([]string{"serve", "-addr", "127.0.0.1:0"}, &out, &errb)
+	}()
+
+	// Wait for the startup line and extract the base URL.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && base == "" {
+		if _, rest, ok := strings.Cut(out.String(), "listening on "); ok {
+			if url, _, ok := strings.Cut(rest, "\n"); ok {
+				base = strings.TrimSpace(url)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced its address; stderr: %s", errb.String())
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, err %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz body = %s", body)
+	}
+
+	cancel() // deliver the "signal"
+	select {
+	case code := <-exit:
+		if code != ExitOK {
+			t.Errorf("serve exit code %d, want %d; stderr: %s", code, ExitOK, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down after cancellation")
+	}
+	if !strings.Contains(errb.String(), "drained") {
+		t.Errorf("drain message missing from stderr: %s", errb.String())
+	}
+}
+
+func TestServeUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"serve", "-nosuchflag"}, &out, &errb); code != ExitUsage {
+		t.Errorf("bad serve flag should exit %d, got %d", ExitUsage, code)
+	}
+	errb.Reset()
+	if code := Main([]string{"serve", "surplus"}, &out, &errb); code != ExitUsage {
+		t.Errorf("surplus serve argument should exit %d, got %d", ExitUsage, code)
+	}
+	if !strings.Contains(errb.String(), "unexpected argument") {
+		t.Errorf("stderr should name the surplus argument: %s", errb.String())
 	}
 }
 

@@ -137,6 +137,7 @@ func All() []*Analyzer {
 		MapOrder,
 		ErrDrop,
 		CtxGoroutine,
+		SimSeed,
 	}
 }
 

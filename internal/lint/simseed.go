@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimSeed flags sim.Options composite literals that do not set Seed
+// explicitly. The simulator's noise model is seeded, and an implicit
+// zero seed is indistinguishable from an accidental one: every
+// measurement-bearing artefact in this repo (tables, figure data, the
+// CSV export) must be reproducible from a seed that is visible at the
+// construction site. Test files are not loaded by the driver, so this
+// applies to non-test code only.
+var SimSeed = &Analyzer{
+	Name: "simseed",
+	Doc:  "flags sim.Options literals without an explicit Seed",
+	Run:  runSimSeed,
+}
+
+// simPackagePath is the package whose Options type carries the seed.
+const simPackagePath = "archline/internal/sim"
+
+func runSimSeed(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[cl]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Name() != "Options" || obj.Pkg() == nil || obj.Pkg().Path() != simPackagePath {
+				return true
+			}
+			if !simSeedSet(cl) {
+				pass.Reportf(cl.Pos(),
+					"sim.Options literal without an explicit Seed; set Seed so the run is reproducible")
+			}
+			return true
+		})
+	}
+}
+
+// simSeedSet reports whether the literal pins the Seed field: either a
+// Seed: key, or positional form (which must populate every field).
+func simSeedSet(cl *ast.CompositeLit) bool {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return true // positional literal: all fields present, Seed included
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Seed" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"archline/internal/stats"
+)
+
+// latWindowSize bounds how many recent latency samples each endpoint
+// keeps for quantile estimation.
+const latWindowSize = 1024
+
+// Metrics is the daemon's stdlib-only metrics registry: request counts
+// by endpoint and status, latency quantiles over a sliding window
+// (computed with internal/stats, the same quantile machinery as the
+// paper's boxplots), cache hit ratio, model-evaluation count, and an
+// in-flight gauge. Render emits a Prometheus-style text exposition.
+type Metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	requests  map[string]map[int]int64 // endpoint -> status -> count
+	latencies map[string]*latWindow    // endpoint -> recent seconds
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	modelEvals  atomic.Int64
+	inFlight    atomic.Int64
+}
+
+// latWindow is a fixed ring of recent latency samples in seconds.
+type latWindow struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func (w *latWindow) add(seconds float64) {
+	if len(w.buf) < latWindowSize {
+		w.buf = append(w.buf, seconds)
+		return
+	}
+	w.buf[w.next] = seconds
+	w.next = (w.next + 1) % latWindowSize
+	w.full = true
+}
+
+// samples returns a copy of the window's contents.
+func (w *latWindow) samples() []float64 {
+	return append([]float64(nil), w.buf...)
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:     time.Now(),
+		requests:  map[string]map[int]int64{},
+		latencies: map[string]*latWindow{},
+	}
+}
+
+// noteRequest records one finished request.
+func (m *Metrics) noteRequest(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus, ok := m.requests[endpoint]
+	if !ok {
+		byStatus = map[int]int64{}
+		m.requests[endpoint] = byStatus
+	}
+	byStatus[status]++
+	w, ok := m.latencies[endpoint]
+	if !ok {
+		w = &latWindow{}
+		m.latencies[endpoint] = w
+	}
+	w.add(d.Seconds())
+}
+
+// noteCache records one cache lookup outcome.
+func (m *Metrics) noteCache(hit bool) {
+	if hit {
+		m.cacheHits.Add(1)
+		return
+	}
+	m.cacheMisses.Add(1)
+}
+
+// noteEval records one model evaluation (a cache-missed compute).
+func (m *Metrics) noteEval() { m.modelEvals.Add(1) }
+
+// noteInFlight adjusts the in-flight request gauge.
+func (m *Metrics) noteInFlight(delta int64) { m.inFlight.Add(delta) }
+
+// ModelEvals reports the total model evaluations so far.
+func (m *Metrics) ModelEvals() int64 { return m.modelEvals.Load() }
+
+// CacheHits reports the total cache hits so far.
+func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
+
+// Requests reports the total finished requests across all endpoints.
+func (m *Metrics) Requests() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, byStatus := range m.requests {
+		for _, n := range byStatus {
+			total += n
+		}
+	}
+	return total
+}
+
+// latQuantiles are the exposed latency quantiles.
+var latQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Render emits the text exposition. Map iterations are key-sorted so two
+// renders of the same state are byte-identical.
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	b.WriteString("# archlined metrics\n")
+	fmt.Fprintf(&b, "archlined_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.requests))
+	for e := range m.requests {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		byStatus := m.requests[e]
+		statuses := make([]int, 0, len(byStatus))
+		for s := range byStatus {
+			statuses = append(statuses, s)
+		}
+		sort.Ints(statuses)
+		for _, s := range statuses {
+			fmt.Fprintf(&b, "archlined_requests_total{endpoint=%q,status=\"%d\"} %d\n", e, s, byStatus[s])
+		}
+	}
+	latEndpoints := make([]string, 0, len(m.latencies))
+	for e := range m.latencies {
+		latEndpoints = append(latEndpoints, e)
+	}
+	sort.Strings(latEndpoints)
+	for _, e := range latEndpoints {
+		samples := m.latencies[e].samples()
+		for _, q := range latQuantiles {
+			fmt.Fprintf(&b, "archlined_request_latency_seconds{endpoint=%q,quantile=\"%g\"} %.6g\n",
+				e, q, stats.Quantile(samples, q))
+		}
+	}
+	m.mu.Unlock()
+
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	fmt.Fprintf(&b, "archlined_cache_hits_total %d\n", hits)
+	fmt.Fprintf(&b, "archlined_cache_misses_total %d\n", misses)
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(&b, "archlined_cache_hit_ratio %.4f\n", ratio)
+	fmt.Fprintf(&b, "archlined_model_evals_total %d\n", m.modelEvals.Load())
+	fmt.Fprintf(&b, "archlined_in_flight_requests %d\n", m.inFlight.Load())
+	return b.String()
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status string `json:"status"`
+}
+
+// handleHealthz answers liveness probes. It bypasses the cache: health
+// is not a pure function of the request.
+func (s *Server) handleHealthz(http.ResponseWriter, *http.Request) (any, *apiError) {
+	return healthResponse{Status: "ok"}, nil
+}
+
+// handleMetrics serves the text exposition (not JSON, never cached). It
+// writes directly and returns the already-handled sentinel.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) (any, *apiError) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, s.metrics.Render())
+	return nil, nil
+}

@@ -1,0 +1,218 @@
+// Package server implements archlined, the HTTP/JSON query service over
+// the energy-roofline engine. It exposes the capped model of eqs. (1)-(7),
+// the Table I platform database, and the what-if scenario machinery as a
+// long-running daemon, so interactive clients can query time, energy, and
+// power predictions instead of re-running the one-shot CLI.
+//
+// Endpoints:
+//
+//	GET  /v1/platforms                      Table I database
+//	GET  /v1/platforms/{id}/roofline        eq. (1)-(7) sweep over intensity
+//	POST /v1/query                          time/energy/power at (W, Q) or I
+//	POST /v1/compare                        fig. 1 crossover analysis
+//	POST /v1/whatif                         throttle / bound / aggregate scenarios
+//	GET  /healthz                           liveness
+//	GET  /metrics                           counters, latency quantiles, cache stats
+//
+// Every /v1 response is a pure function of the request, so the server
+// keeps an LRU cache keyed on the canonicalized request and deduplicates
+// concurrent identical computations singleflight-style: N simultaneous
+// requests for the same sweep cost one model evaluation. The package uses
+// only the Go standard library.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Addr is the listen address (host:port). Port 0 picks an ephemeral
+	// port; the bound address is printed on startup.
+	Addr string
+	// MaxBodyBytes caps request body size; larger bodies get 413.
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request's handling via its context.
+	RequestTimeout time.Duration
+	// CacheEntries is the response LRU capacity (entries, not bytes).
+	CacheEntries int
+	// DrainTimeout bounds the graceful-shutdown drain of in-flight
+	// requests.
+	DrainTimeout time.Duration
+}
+
+// Defaults for zero Config fields.
+const (
+	DefaultAddr           = ":8080"
+	DefaultMaxBodyBytes   = 1 << 20 // 1 MiB: platform JSON is ~1 KiB
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultCacheEntries   = 512
+	DefaultDrainTimeout   = 5 * time.Second
+)
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = DefaultAddr
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	return c
+}
+
+// Server is the archlined service: routing, response cache, in-flight
+// deduplication, and metrics.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *lruCache
+	flights *flightGroup
+	metrics *Metrics
+
+	// testHookEval, when set before the server starts, runs inside every
+	// model evaluation (cache-miss compute). Tests use it to hold a
+	// request in flight.
+	testHookEval func()
+}
+
+// New builds a Server from the config (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newLRUCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		metrics: NewMetrics(),
+	}
+	s.handle("GET", "/healthz", s.handleHealthz)
+	s.handle("GET", "/metrics", s.handleMetrics)
+	s.handle("GET", "/v1/platforms", s.handlePlatforms)
+	s.handle("GET", "/v1/platforms/{id}/roofline", s.handleRoofline)
+	s.handle("POST", "/v1/query", s.handleQuery)
+	s.handle("POST", "/v1/compare", s.handleCompare)
+	s.handle("POST", "/v1/whatif", s.handleWhatIf)
+	s.mux.HandleFunc("/", s.handleNotFound)
+	return s
+}
+
+// Handler returns the fully wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's metrics registry (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ModelEvals reports how many cache-missed model evaluations have run —
+// the observable the dedup/cache tests assert on.
+func (s *Server) ModelEvals() int64 { return s.metrics.ModelEvals() }
+
+// noteEval records one underlying model evaluation.
+func (s *Server) noteEval() {
+	s.metrics.noteEval()
+	if s.testHookEval != nil {
+		s.testHookEval()
+	}
+}
+
+// handle registers one endpoint with the standard middleware stack:
+// metrics instrumentation, method enforcement, body size limit, panic
+// recovery, and a per-request timeout.
+func (s *Server) handle(method, pattern string, h handlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.serveInstrumented(pattern, method, h, w, r)
+	})
+}
+
+// handleNotFound is the catch-all for unrouted paths, keeping 404s in
+// the JSON envelope format.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.serveInstrumented("other", r.Method, func(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+		return nil, errNotFound("no such endpoint %q", r.URL.Path)
+	}, w, r)
+}
+
+// cachedJSON serves a pure-function endpoint: cache lookup, singleflight
+// dedup of concurrent identical computations, then compute + fill. The
+// key must canonicalize the request (two equivalent requests map to one
+// key), so cache hits return byte-identical bodies.
+func (s *Server) cachedJSON(key string, compute func() (any, *apiError)) (*cachedResponse, *apiError) {
+	if resp, ok := s.cache.get(key); ok {
+		s.metrics.noteCache(true)
+		return resp, nil
+	}
+	s.metrics.noteCache(false)
+	return s.flights.do(key, func() (*cachedResponse, *apiError) {
+		// A concurrent flight may have filled the cache while this call
+		// waited on the flight lock.
+		if resp, ok := s.cache.get(key); ok {
+			return resp, nil
+		}
+		v, aerr := compute()
+		if aerr != nil {
+			return nil, aerr
+		}
+		resp, err := marshalResponse(http.StatusOK, v)
+		if err != nil {
+			return nil, errInternal("encoding response: %v", err)
+		}
+		s.cache.put(key, resp)
+		return resp, nil
+	})
+}
+
+// Run listens on cfg.Addr, serves until ctx is cancelled (the caller
+// wires SIGINT/SIGTERM into ctx), then shuts down gracefully, draining
+// in-flight requests for at most cfg.DrainTimeout. The bound address is
+// printed to stdout as "archlined listening on http://<addr>" so callers
+// (and the CI smoke test) can use port 0.
+func (s *Server) Run(ctx context.Context, stdout, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	_, _ = fmt.Fprintf(stdout, "archlined listening on http://%s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("server: serve: %w", err)
+	case <-ctx.Done():
+	}
+	_, _ = fmt.Fprintln(stderr, "archlined: shutdown requested, draining in-flight requests")
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("server: serve: %w", err)
+	}
+	_, _ = fmt.Fprintln(stderr, "archlined: drained, bye")
+	return nil
+}
+
+// Run builds a server from cfg and runs it until ctx is cancelled; see
+// (*Server).Run.
+func Run(ctx context.Context, cfg Config, stdout, stderr io.Writer) error {
+	return New(cfg).Run(ctx, stdout, stderr)
+}

@@ -24,4 +24,40 @@ go test -race ./...
 echo "ci: archlint"
 go run ./cmd/archlint -summary ./...
 
+echo "ci: archlined smoke test"
+# Boot the daemon on an ephemeral port, probe it over HTTP, then send
+# SIGTERM and require a clean drain within 5 seconds.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/archlined" ./cmd/archlined
+"$tmpdir/archlined" -addr 127.0.0.1:0 >"$tmpdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 1 50); do
+    base=$(sed -n 's/^archlined listening on \(.*\)$/\1/p' "$tmpdir/daemon.log")
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+if [ -z "$base" ]; then
+    echo "ci: archlined never announced its address" >&2
+    cat "$tmpdir/daemon.log" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+fi
+
+go run ./scripts/smoke -base "$base"
+
+kill -TERM "$daemon_pid"
+# Clean drain within 5 s: a watchdog hard-kills on overrun, which makes
+# the daemon exit nonzero and fails the gate below.
+( sleep 5; kill -9 "$daemon_pid" 2>/dev/null ) &
+watchdog_pid=$!
+if ! wait "$daemon_pid"; then
+    echo "ci: archlined did not drain cleanly on SIGTERM" >&2
+    cat "$tmpdir/daemon.log" >&2
+    exit 1
+fi
+kill "$watchdog_pid" 2>/dev/null || true
+
 echo "ci: OK"

@@ -1,0 +1,117 @@
+// smoke is the CI smoke probe for archlined: pointed at a running
+// daemon, it checks /healthz, the shape of one roofline sweep, response
+// determinism (two identical requests must return identical bytes), and
+// the metrics exposition. It exits nonzero on the first failure; see
+// scripts/ci.sh for the harness that boots the daemon around it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+)
+
+func main() {
+	base := flag.String("base", "", "archlined base URL (required)")
+	flag.Parse()
+	if *base == "" {
+		log.Fatal("smoke: -base is required")
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Liveness.
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := getJSON(client, *base+"/healthz", &health); err != nil {
+		log.Fatalf("smoke: healthz: %v", err)
+	}
+	if health.Status != "ok" {
+		log.Fatalf("smoke: healthz status = %q, want ok", health.Status)
+	}
+
+	// One sweep, with the JSON shape asserted.
+	const sweepURL = "/v1/platforms/gtx-titan/roofline?points=17"
+	body1, err := getBody(client, *base+sweepURL)
+	if err != nil {
+		log.Fatalf("smoke: roofline: %v", err)
+	}
+	var sweep struct {
+		PlatformID string `json:"platform_id"`
+		Points     []struct {
+			Intensity   float64 `json:"intensity"`
+			Regime      string  `json:"regime"`
+			FlopsPerSec float64 `json:"flops_per_sec"`
+			AvgPowerW   float64 `json:"avg_power_w"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(body1, &sweep); err != nil {
+		log.Fatalf("smoke: roofline JSON: %v", err)
+	}
+	if sweep.PlatformID != "gtx-titan" || len(sweep.Points) != 17 {
+		log.Fatalf("smoke: roofline shape wrong: id=%q points=%d", sweep.PlatformID, len(sweep.Points))
+	}
+	for _, p := range sweep.Points {
+		if p.Intensity <= 0 || p.FlopsPerSec <= 0 || p.AvgPowerW <= 0 || p.Regime == "" {
+			log.Fatalf("smoke: degenerate roofline point: %+v", p)
+		}
+	}
+
+	// Determinism: the repeat must be byte-identical (and served from
+	// the response cache).
+	body2, err := getBody(client, *base+sweepURL)
+	if err != nil {
+		log.Fatalf("smoke: roofline repeat: %v", err)
+	}
+	if string(body1) != string(body2) {
+		log.Fatal("smoke: identical requests returned different bytes")
+	}
+
+	// Metrics counted all of the above.
+	metrics, err := getBody(client, *base+"/metrics")
+	if err != nil {
+		log.Fatalf("smoke: metrics: %v", err)
+	}
+	for _, want := range []string{
+		"archlined_requests_total",
+		"archlined_cache_hits_total 1",
+		"archlined_model_evals_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			log.Fatalf("smoke: metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	fmt.Println("smoke: OK")
+}
+
+// getBody fetches url and returns the body, failing on non-200.
+func getBody(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	return body, nil
+}
+
+// getJSON fetches url and decodes the JSON body into dst.
+func getJSON(client *http.Client, url string, dst any) error {
+	body, err := getBody(client, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, dst)
+}
