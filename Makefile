@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check ci fmt serve
+.PHONY: build test race vet lint check ci chaos fmt serve
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,15 @@ check: build vet race lint
 ## ci is check with caching disabled and a per-analyzer lint summary.
 ci:
 	./scripts/ci.sh
+
+## chaos exercises the fault-injection stack: the fault, sanitization,
+## robust-measurement, robust-fit, and server-resilience suites (race
+## detector on, caching off), then one robust measure+fit run under the
+## paper fault profile.
+chaos:
+	$(GO) test -race -count=1 ./internal/faults/ ./internal/powermon/ ./internal/sim/ \
+		./internal/microbench/ ./internal/fit/ ./internal/server/
+	$(GO) run ./cmd/archline -platform gtx-titan -faults paper -seed 42 measure
 
 fmt:
 	gofmt -w .

@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"archline/internal/experiments"
+	"archline/internal/faults"
 	"archline/internal/fit"
 	"archline/internal/machine"
 	"archline/internal/microbench"
@@ -60,6 +61,7 @@ commands:
   scaling    Strong/weak cluster scaling of the Arndale building block
   export     Dump every platform's suite measurements as CSV (released dataset)
   fit        Fit one platform (-platform) and print recovered constants
+  measure    Fault-tolerant measure+fit for one platform (-platform, -faults, -fault-seed)
   sweep      Print one platform's model curves over intensity (-platform)
   roofline   ASCII time and energy rooflines for one platform (-platform)
   list       List the twelve platforms
@@ -90,8 +92,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		points     = fs.Int("points", 25, "intensity sweep points per platform")
 		replicates = fs.Int("replicates", 1, "suite replicates (fig4 uses 4 by default)")
 		noiseless  = fs.Bool("noiseless", false, "disable measurement noise")
-		platform   = fs.String("platform", "gtx-titan", "platform ID for fit/sweep/roofline")
+		platform   = fs.String("platform", "gtx-titan", "platform ID for fit/sweep/roofline/measure")
 		platFile   = fs.String("platform-file", "", "JSON platform description to use instead of -platform")
+		faultsProf = fs.String("faults", "none", "fault-injection profile for measure: none, paper, harsh")
+		faultSeed  = fs.Uint64("fault-seed", 7, "fault-schedule seed for measure (same seed, same faults)")
 	)
 	fs.Usage = func() {
 		_, _ = fmt.Fprint(stderr, Usage)
@@ -116,15 +120,20 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		Noiseless:   *noiseless,
 		Replicates:  *replicates,
 	}
-	if *platFile != "" {
-		f, err := os.Open(*platFile)
+	// measure carries fault-injection flags the generic dispatch does not
+	// know about, so it is routed here (with -platform-file support).
+	if fs.Arg(0) == "measure" {
+		plat, err := loadPlatform(*platFile, machine.ID(*platform))
 		if err != nil {
 			return fail(err)
 		}
-		custom, err := machine.FromJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if err := measurePlatform(opts, plat, *faultsProf, *faultSeed, stdout); err != nil {
+			return fail(err)
 		}
+		return ExitOK
+	}
+	if *platFile != "" {
+		custom, err := loadPlatform(*platFile, "")
 		if err != nil {
 			return fail(err)
 		}
@@ -150,17 +159,28 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("archline serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", server.DefaultAddr, "listen address (host:port; port 0 is ephemeral)")
-		entries = fs.Int("cache-entries", server.DefaultCacheEntries, "response LRU cache capacity")
-		timeout = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request processing deadline")
-		maxBody = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
-		drain   = fs.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+		addr        = fs.String("addr", server.DefaultAddr, "listen address (host:port; port 0 is ephemeral)")
+		entries     = fs.Int("cache-entries", server.DefaultCacheEntries, "response LRU cache capacity")
+		timeout     = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request processing deadline")
+		maxBody     = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+		drain       = fs.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+		maxInflight = fs.Int("max-inflight", server.DefaultMaxInFlight,
+			"concurrent-request ceiling before /v1 load shedding (negative disables)")
+		chaosProf = fs.String("chaos", "",
+			"chaos middleware fault profile (paper, harsh); off unless set explicitly")
+		chaosSeed = fs.Uint64("chaos-seed", 42, "seed for chaos draws (same seed, same chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return ExitUsage
 	}
 	if fs.NArg() != 0 {
 		_, _ = fmt.Fprintf(stderr, "archline serve: unexpected argument %q\n", fs.Arg(0))
+		return ExitUsage
+	}
+	// An unknown chaos profile is the caller's typo: catch it before the
+	// daemon boots rather than failing at listen time.
+	if _, err := faults.ByName(*chaosProf); err != nil {
+		_, _ = fmt.Fprintln(stderr, "archline serve:", err)
 		return ExitUsage
 	}
 	ctx, cancel := serveContext()
@@ -171,6 +191,9 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 		RequestTimeout: *timeout,
 		CacheEntries:   *entries,
 		DrainTimeout:   *drain,
+		MaxInFlight:    *maxInflight,
+		ChaosProfile:   *chaosProf,
+		ChaosSeed:      *chaosSeed,
 	}
 	if err := server.Run(ctx, cfg, stdout, stderr); err != nil {
 		_, _ = fmt.Fprintln(stderr, "archline serve:", err)
@@ -191,7 +214,7 @@ func RunOn(cmd string, opts experiments.Options, plat *machine.Platform, w io.Wr
 	case "roofline":
 		return rooflinePlatform(plat, w)
 	default:
-		return fmt.Errorf("%w: command %q does not support -platform-file (use fit, sweep, or roofline)", ErrUsage, cmd)
+		return fmt.Errorf("%w: command %q does not support -platform-file (use fit, sweep, roofline, or measure)", ErrUsage, cmd)
 	}
 }
 
@@ -301,6 +324,12 @@ func fitPlatform(opts experiments.Options, plat *machine.Platform, w io.Writer) 
 	if err != nil {
 		return err
 	}
+	return renderFit(plat, pf, w)
+}
+
+// renderFit prints the fitted-vs-published constants table for one
+// platform fit (shared by the fit and measure commands).
+func renderFit(plat *machine.Platform, pf *fit.PlatformFit, w io.Writer) error {
 	tb := &report.Table{
 		Title:   fmt.Sprintf("%s: fitted constants (published Table I values in parentheses)", plat.Name),
 		Headers: []string{"parameter", "fitted", "published"},
@@ -332,7 +361,86 @@ func fitPlatform(opts experiments.Options, plat *machine.Platform, w io.Writer) 
 	if _, err := fmt.Fprintln(w, tb.Render()); err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "fit RMS log-residual: %.4f\n", pf.Residual)
+	_, err := fmt.Fprintf(w, "fit RMS log-residual: %.4f\n", pf.Residual)
+	return err
+}
+
+// loadPlatform resolves the platform under measurement: a JSON file when
+// path is set, otherwise the Table I entry for id.
+func loadPlatform(path string, id machine.ID) (*machine.Platform, error) {
+	if path == "" {
+		return machine.ByID(id)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	plat, err := machine.FromJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return plat, err
+}
+
+// measurePlatform runs the fault-tolerant measurement pipeline on one
+// platform — repeat measurements with retry under the requested fault
+// profile, trace sanitization, outlier-trimmed aggregation — then fits
+// the model constants and reports per-kernel quality plus the overall
+// degradation grade.
+func measurePlatform(opts experiments.Options, plat *machine.Platform, profile string, faultSeed uint64, w io.Writer) error {
+	prof, err := faults.ByName(profile)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUsage, err)
+	}
+	cfg := microbench.DefaultConfig()
+	if opts.SweepPoints > 0 {
+		cfg.SweepPoints = opts.SweepPoints
+	}
+	simOpts := sim.Options{Seed: opts.Seed, Noiseless: opts.Noiseless, Sanitize: true}
+	if prof.Enabled() {
+		simOpts.Faults = faults.New(prof, faultSeed)
+	}
+	rc := microbench.RobustConfig{}
+	if opts.Replicates > 1 {
+		rc.Repeats = opts.Replicates
+	}
+	res, rs, err := microbench.RunRobust(plat, cfg, simOpts, rc)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s: robust measurement, fault profile %s (fault seed %d)\n\n",
+		plat.Name, prof.Name, faultSeed); err != nil {
+		return err
+	}
+	qt := &report.Table{
+		Title:   "per-kernel measurement quality",
+		Headers: []string{"kernel", "intensity", "power", "grade", "gaps", "spikes", "stuck", "repaired"},
+	}
+	for _, m := range res.Measurements {
+		q := m.Quality
+		qt.AddRow(m.Kernel, units.FormatIntensity(m.Intensity), units.FormatPower(m.AvgPower),
+			q.Grade.String(), strconv.Itoa(q.GapsFilled), strconv.Itoa(q.SpikesRemoved),
+			strconv.Itoa(q.StuckRepaired), fmt.Sprintf("%.1f%%", 100*q.RepairedFrac))
+	}
+	if _, err := fmt.Fprintln(w, qt.Render()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "suite: %s\n\n", rs); err != nil {
+		return err
+	}
+	pf, err := fit.Platform(res, fit.Options{Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	if err := renderFit(plat, pf, w); err != nil {
+		return err
+	}
+	robust := "no"
+	if pf.RobustApplied {
+		robust = "yes (Huber re-fit)"
+	}
+	_, err = fmt.Fprintf(w, "degradation grade: %s (contamination %.1f%%, robust re-fit: %s)\n",
+		pf.Grade, 100*pf.Contamination, robust)
 	return err
 }
 

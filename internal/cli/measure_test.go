@@ -1,0 +1,162 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"archline/internal/machine"
+)
+
+// measureArgs builds a fast measure invocation.
+func measureArgs(extra ...string) []string {
+	args := []string{"-platform", "gtx-titan", "-points", "10"}
+	args = append(args, extra...)
+	return append(args, "measure")
+}
+
+func TestMeasureCommandClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main(measureArgs(), &out, &errb); code != ExitOK {
+		t.Fatalf("measure exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"fault profile none",
+		"per-kernel measurement quality",
+		"suite: repeats 3, retries 0, discarded 0, worst grade A",
+		"fitted", "published", "pi_1",
+		"degradation grade:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("measure output missing %q", want)
+		}
+	}
+}
+
+func TestMeasureCommandPaperFaults(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Main(measureArgs("-faults", "paper", "-fault-seed", "7"), &out, &errb)
+	if code != ExitOK {
+		t.Fatalf("measure -faults paper exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"fault profile paper (fault seed 7)", "degradation grade:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("measure output missing %q", want)
+		}
+	}
+}
+
+func TestMeasureCommandDeterministic(t *testing.T) {
+	run := func() string {
+		var out, errb bytes.Buffer
+		if code := Main(measureArgs("-faults", "paper"), &out, &errb); code != ExitOK {
+			t.Fatalf("measure exit %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	if run() != run() {
+		t.Error("measure output is not deterministic for a fixed fault seed")
+	}
+}
+
+func TestMeasureUnknownProfile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main(measureArgs("-faults", "volcanic"), &out, &errb); code != ExitUsage {
+		t.Errorf("unknown fault profile should exit %d (usage), got %d", ExitUsage, code)
+	}
+	if !strings.Contains(errb.String(), "volcanic") {
+		t.Errorf("stderr should name the bad profile: %s", errb.String())
+	}
+}
+
+func TestMeasurePlatformFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/custom.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := machine.ToJSON(f, machine.MustByID(machine.ArndaleGPU)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errb bytes.Buffer
+	code := Main([]string{"-platform-file", path, "-points", "10", "measure"}, &out, &errb)
+	if code != ExitOK {
+		t.Fatalf("measure via platform-file exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Arndale GPU") {
+		t.Error("custom platform not measured")
+	}
+}
+
+func TestServeResilienceFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	// An unknown chaos profile is rejected before the daemon boots.
+	if code := Main([]string{"serve", "-chaos", "volcanic"}, &out, &errb); code != ExitUsage {
+		t.Errorf("unknown chaos profile should exit %d (usage), got %d", ExitUsage, code)
+	}
+	if !strings.Contains(errb.String(), "volcanic") {
+		t.Errorf("stderr should name the bad profile: %s", errb.String())
+	}
+}
+
+// TestServeChaosMode boots the daemon with -chaos, -chaos-seed, and
+// -max-inflight: the startup banner must announce chaos mode, the
+// chaos-exempt liveness probe must stay 200, and shutdown must drain.
+func TestServeChaosMode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	orig := serveContext
+	serveContext = func() (context.Context, context.CancelFunc) {
+		return context.WithCancel(ctx)
+	}
+	defer func() { serveContext = orig }()
+
+	var out, errb lockedBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- Main([]string{"serve", "-addr", "127.0.0.1:0",
+			"-chaos", "paper", "-chaos-seed", "9", "-max-inflight", "8"}, &out, &errb)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && base == "" {
+		if _, rest, ok := strings.Cut(out.String(), "listening on "); ok {
+			if url, _, ok := strings.Cut(rest, "\n"); ok {
+				base = strings.TrimSpace(url)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced its address; stderr: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "CHAOS MODE enabled (profile paper, seed 9)") {
+		t.Errorf("startup output missing chaos banner: %s", out.String())
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz under chaos = %d, want 200 (exempt route)", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != ExitOK {
+			t.Errorf("serve exit code %d; stderr: %s", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down after cancellation")
+	}
+}

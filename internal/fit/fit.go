@@ -7,6 +7,7 @@ import (
 
 	"archline/internal/microbench"
 	"archline/internal/model"
+	"archline/internal/powermon"
 	"archline/internal/sim"
 	"archline/internal/units"
 )
@@ -26,6 +27,17 @@ type PlatformFit struct {
 	// Residual is the RMS log-residual of the DRAM fit over time and
 	// power, a goodness-of-fit summary.
 	Residual float64
+	// Contamination is the fraction of DRAM residual components flagged
+	// as outliers (beyond outlierK robust standard deviations) under the
+	// final parameters.
+	Contamination float64
+	// RobustApplied reports that the least-squares fit looked
+	// contaminated and a Huber refit replaced it.
+	RobustApplied bool
+	// Grade buckets the fit's trustworthiness: A clean, B recovered via
+	// robust refit or from degraded measurements, C contaminated beyond
+	// what the robust loss can absorb.
+	Grade powermon.Grade
 }
 
 // observation is one fitting data point.
@@ -203,6 +215,10 @@ func Platform(res *microbench.Result, opts Options) (*PlatformFit, error) {
 		Params:   paramsFromLog(tauF, tauM, best.X),
 		Residual: math.Sqrt(best.F / float64(2*len(obs))),
 	}
+	// Contamination diagnostics: if the least-squares solution looks
+	// dragged by outliers, refit with a Huber loss (robust.go).
+	robustRefit(out, obs, tauF, tauM, maxP, best, opts)
+	out.Grade = fitGrade(out, res)
 
 	// Double precision: refit the flop side only on the DP sweep.
 	if dp := toObservations(res.Sweep(sim.Double)); len(dp) >= 6 {

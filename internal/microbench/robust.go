@@ -1,0 +1,192 @@
+package microbench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"archline/internal/faults"
+	"archline/internal/machine"
+	"archline/internal/powermon"
+	"archline/internal/sim"
+	"archline/internal/stats"
+	"archline/internal/units"
+)
+
+// RobustConfig tunes the fault-tolerant suite runner.
+type RobustConfig struct {
+	// Repeats is how many times each kernel is measured. Default 3.
+	Repeats int
+	// Backoff schedules retries of transient measurement errors.
+	Backoff faults.Backoff
+	// Sleep receives each backoff delay; nil means time.Sleep. Tests
+	// inject a recording stub so no retry ever blocks on a real clock.
+	Sleep func(time.Duration)
+}
+
+func (rc RobustConfig) withDefaults() RobustConfig {
+	if rc.Repeats < 1 {
+		rc.Repeats = 3
+	}
+	return rc
+}
+
+// RobustStats summarizes what the robust runner had to absorb.
+type RobustStats struct {
+	// Retries counts transient errors retried across the whole suite.
+	Retries int
+	// Discarded counts repeat measurements dropped as GradeC when a
+	// cleaner repeat existed.
+	Discarded int
+	// Repeats is the per-kernel repeat count used.
+	Repeats int
+	// WorstGrade is the worst quality grade among the measurements that
+	// were kept.
+	WorstGrade powermon.Grade
+}
+
+// String renders the stats compactly.
+func (rs RobustStats) String() string {
+	return fmt.Sprintf("repeats %d, retries %d, discarded %d, worst grade %s",
+		rs.Repeats, rs.Retries, rs.Discarded, rs.WorstGrade)
+}
+
+// repeatSuffix tags a repeat's kernel name so each repeat draws its own
+// noise and fault schedule.
+func repeatSuffix(rep int) string { return fmt.Sprintf("@r%d", rep) }
+
+// RunRobust builds and executes the suite the way a careful lab does on
+// flaky instrumentation: every kernel is measured Repeats times (each
+// repeat under its own noise and fault schedule), transient meter errors
+// are retried with capped jittered backoff, traces are sanitized,
+// GradeC repeats are discarded when a cleaner repeat exists, and the
+// surviving repeats are aggregated component-wise by median — the
+// outlier-trimmed estimate a single throttled or corrupted run cannot
+// drag. The aggregated Result is shaped exactly like Run's, so the
+// fitting pipeline consumes it unchanged.
+func RunRobust(plat *machine.Platform, cfg Config, opts sim.Options, rc RobustConfig) (*Result, *RobustStats, error) {
+	rc = rc.withDefaults()
+	opts.Sanitize = true
+	kernels, err := BuildSuite(plat, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := sim.New(plat, opts)
+	res := &Result{Platform: plat}
+	rs := &RobustStats{Repeats: rc.Repeats}
+	for _, k := range kernels {
+		m, err := measureKernelRobust(s, k, rc, rs, opts.Seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("microbench: %s on %s: %w", k.Name, plat.Name, err)
+		}
+		res.Measurements = append(res.Measurements, m)
+	}
+	idle, err := measureIdleRobust(s, rc, rs, opts.Seed, plat)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.IdlePower = idle
+	return res, rs, nil
+}
+
+// measureKernelRobust measures one kernel Repeats times with retry,
+// discards contaminated repeats, and aggregates the survivors.
+func measureKernelRobust(s *sim.Simulator, k sim.Kernel, rc RobustConfig, rs *RobustStats, seed uint64) (sim.Measurement, error) {
+	var reps []sim.Measurement
+	var lastErr error
+	for rep := 0; rep < rc.Repeats; rep++ {
+		rk := k
+		rk.Name = k.Name + repeatSuffix(rep)
+		rng := stats.NewStream(seed^0x5e77, string(s.Platform().ID)+"/retry/"+rk.Name)
+		var m sim.Measurement
+		retries, err := faults.Retry(rc.Backoff, rc.Sleep, rng, func() error {
+			var merr error
+			m, merr = s.Measure(rk)
+			return merr
+		})
+		rs.Retries += retries
+		if err != nil {
+			lastErr = err
+			continue // this repeat is lost; others may still land
+		}
+		m.Kernel = strings.TrimSuffix(m.Kernel, repeatSuffix(rep))
+		reps = append(reps, m)
+	}
+	if len(reps) == 0 {
+		return sim.Measurement{}, fmt.Errorf("all %d repeats failed: %w", rc.Repeats, lastErr)
+	}
+	kept := discardContaminated(reps)
+	rs.Discarded += len(reps) - len(kept)
+	agg := aggregate(kept)
+	if agg.Quality.Grade > rs.WorstGrade {
+		rs.WorstGrade = agg.Quality.Grade
+	}
+	return agg, nil
+}
+
+// discardContaminated drops GradeC repeats as long as at least one
+// cleaner repeat survives; with nothing cleaner available the
+// contaminated repeats are all we have, and the grade says so.
+func discardContaminated(reps []sim.Measurement) []sim.Measurement {
+	var kept []sim.Measurement
+	for _, m := range reps {
+		if m.Quality.Grade < powermon.GradeC {
+			kept = append(kept, m)
+		}
+	}
+	if len(kept) == 0 {
+		return reps
+	}
+	return kept
+}
+
+// aggregate folds repeat measurements into one by component-wise median
+// on the measured quantities. Ground-truth fields (W, Q, level, ...)
+// are identical across repeats and taken from the first.
+func aggregate(reps []sim.Measurement) sim.Measurement {
+	out := reps[0]
+	if len(reps) == 1 {
+		return out
+	}
+	times := make([]float64, len(reps))
+	energies := make([]float64, len(reps))
+	powers := make([]float64, len(reps))
+	for i, m := range reps {
+		times[i] = m.Time.Seconds()
+		energies[i] = m.Energy.Joules()
+		powers[i] = m.AvgPower.Watts()
+		if i > 0 {
+			out.Quality = out.Quality.Merge(m.Quality)
+		}
+	}
+	out.Time = units.Time(stats.Median(times))
+	out.Energy = units.Energy(stats.Median(energies))
+	out.AvgPower = units.Power(stats.Median(powers))
+	return out
+}
+
+// measureIdleRobust records the idle baseline with retry and takes the
+// median across repeats.
+func measureIdleRobust(s *sim.Simulator, rc RobustConfig, rs *RobustStats, seed uint64, plat *machine.Platform) (units.Power, error) {
+	var idles []float64
+	var lastErr error
+	for rep := 0; rep < rc.Repeats; rep++ {
+		rng := stats.NewStream(seed^0x5e77, string(plat.ID)+"/retry/idle"+repeatSuffix(rep))
+		var p units.Power
+		retries, err := faults.Retry(rc.Backoff, rc.Sleep, rng, func() error {
+			var merr error
+			p, merr = s.MeasureIdle(1)
+			return merr
+		})
+		rs.Retries += retries
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		idles = append(idles, p.Watts())
+	}
+	if len(idles) == 0 {
+		return 0, fmt.Errorf("microbench: idle measurement failed on %s: %w", plat.Name, lastErr)
+	}
+	return units.Power(stats.Median(idles)), nil
+}

@@ -1,0 +1,137 @@
+package microbench
+
+import (
+	"testing"
+	"time"
+
+	"archline/internal/faults"
+	"archline/internal/machine"
+	"archline/internal/powermon"
+	"archline/internal/sim"
+)
+
+func robustOpts(inj *faults.Injector) sim.Options {
+	return sim.Options{Seed: 42, Faults: inj, Sanitize: true}
+}
+
+// sleepRecorder fails the test if any retry tries to sleep for real.
+func sleepRecorder(t *testing.T) (func(time.Duration), *int) {
+	t.Helper()
+	n := 0
+	return func(d time.Duration) {
+		n++
+		if d > time.Second {
+			t.Errorf("retry slept %v, beyond the cap", d)
+		}
+	}, &n
+}
+
+func TestRunRobustCleanMatchesSuite(t *testing.T) {
+	plat := machine.MustByID(machine.GTXTitan)
+	cfg := DefaultConfig()
+	sleep, slept := sleepRecorder(t)
+	res, rs, err := RunRobust(plat, cfg, robustOpts(nil), RobustConfig{Sleep: sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels, err := BuildSuite(plat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measurements) != len(kernels) {
+		t.Errorf("measurements = %d, want %d", len(res.Measurements), len(kernels))
+	}
+	for i, m := range res.Measurements {
+		if m.Kernel != kernels[i].Name {
+			t.Errorf("measurement %d kernel = %q, want %q (repeat suffix must be stripped)",
+				i, m.Kernel, kernels[i].Name)
+		}
+	}
+	if rs.Retries != 0 || rs.Discarded != 0 {
+		t.Errorf("clean run retried/discarded: %v", rs)
+	}
+	if rs.WorstGrade != powermon.GradeA {
+		t.Errorf("clean worst grade = %v, want A", rs.WorstGrade)
+	}
+	if *slept != 0 {
+		t.Errorf("clean run slept %d times", *slept)
+	}
+	if res.IdlePower <= 0 {
+		t.Errorf("idle power = %v", res.IdlePower)
+	}
+}
+
+func TestRunRobustSurvivesPaperFaults(t *testing.T) {
+	plat := machine.MustByID(machine.GTXTitan)
+	cfg := DefaultConfig()
+	sleep, _ := sleepRecorder(t)
+	inj := faults.New(faults.Paper(), 7)
+	res, rs, err := RunRobust(plat, cfg, robustOpts(inj), RobustConfig{Sleep: sleep})
+	if err != nil {
+		t.Fatalf("robust run did not survive the paper profile: %v", err)
+	}
+	if got, want := len(res.Measurements), 2*cfg.SweepPoints+1; got < want {
+		t.Errorf("measurements = %d, want at least %d", got, want)
+	}
+	// With ~190 labels at 2% disconnect probability some retries are
+	// overwhelmingly likely; the suite must have absorbed them silently.
+	if rs.Retries == 0 {
+		t.Log("note: no transient retries occurred under the paper profile (possible but unlikely)")
+	}
+	if rs.WorstGrade > powermon.GradeC {
+		t.Errorf("worst grade = %v", rs.WorstGrade)
+	}
+}
+
+func TestRunRobustDeterministic(t *testing.T) {
+	plat := machine.MustByID(machine.GTXTitan)
+	cfg := DefaultConfig()
+	cfg.SweepPoints = 6
+	cfg.IncludeDouble = false
+	cfg.IncludeCache = false
+	cfg.IncludeChase = false
+	run := func() (*Result, *RobustStats) {
+		sleep, _ := sleepRecorder(t)
+		res, rs, err := RunRobust(plat, cfg, robustOpts(faults.New(faults.Paper(), 7)),
+			RobustConfig{Sleep: sleep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rs
+	}
+	a, ra := run()
+	b, rb := run()
+	if *ra != *rb {
+		t.Errorf("robust stats diverged: %v vs %v", ra, rb)
+	}
+	for i := range a.Measurements {
+		if a.Measurements[i] != b.Measurements[i] {
+			t.Errorf("measurement %d diverged:\n%+v\n%+v", i, a.Measurements[i], b.Measurements[i])
+		}
+	}
+	if a.IdlePower != b.IdlePower {
+		t.Errorf("idle power diverged: %v vs %v", a.IdlePower, b.IdlePower)
+	}
+}
+
+func TestRunRobustAllRepeatsFailing(t *testing.T) {
+	// A label that disconnects more often than the retry budget admits
+	// must surface a hard error, not a silent hole in the suite.
+	prof := faults.Paper()
+	prof.DisconnectProb = 1
+	prof.DisconnectBurst = 1000
+	plat := machine.MustByID(machine.GTXTitan)
+	cfg := DefaultConfig()
+	cfg.SweepPoints = 2
+	cfg.IncludeDouble = false
+	cfg.IncludeCache = false
+	cfg.IncludeChase = false
+	sleep, _ := sleepRecorder(t)
+	_, _, err := RunRobust(plat, cfg, robustOpts(faults.New(prof, 7)), RobustConfig{Sleep: sleep})
+	if err == nil {
+		t.Fatal("permanently disconnected meter should fail the run")
+	}
+	if !powermon.IsTransient(err) {
+		t.Errorf("exhausted-retry error should stay classifiable: %v", err)
+	}
+}

@@ -1,8 +1,6 @@
 package powermon
 
 import (
-	"errors"
-
 	"archline/internal/stats"
 	"archline/internal/units"
 )
@@ -25,7 +23,7 @@ func Calibrate(m *Meter, reference units.Power, duration units.Time, rng *stats.
 		return nil, err
 	}
 	if reference <= 0 {
-		return nil, errors.New("powermon: reference power must be positive")
+		return nil, ErrBadReference
 	}
 	tr, err := m.Record(Constant(reference), duration, rng)
 	if err != nil {
@@ -40,7 +38,7 @@ func Calibrate(m *Meter, reference units.Power, duration units.Time, rng *stats.
 			continue
 		}
 		if measured <= 0 {
-			return nil, errors.New("powermon: calibration channel read zero power")
+			return nil, ErrCalibrationZero
 		}
 		cal.Factors[ch.Name] = expected / measured
 	}

@@ -17,7 +17,6 @@ package powermon
 
 import (
 	"encoding/csv"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -66,29 +65,29 @@ type Meter struct {
 // rails jointly carry the device's power.
 func (m *Meter) Validate() error {
 	if len(m.Channels) == 0 {
-		return errors.New("powermon: meter needs at least one channel")
+		return ErrNoChannels
 	}
 	if len(m.Channels) > 8 {
-		return errors.New("powermon: PowerMon 2 supports at most 8 channels")
+		return ErrTooManyChannels
 	}
 	if m.SampleRate <= 0 {
-		return errors.New("powermon: sample rate must be positive")
+		return ErrBadSampleRate
 	}
 	total := 0.0
 	for _, c := range m.Channels {
 		if c.Voltage <= 0 {
-			return fmt.Errorf("powermon: channel %q voltage must be positive", c.Name)
+			return fmt.Errorf("channel %q voltage must be positive: %w", c.Name, ErrBadChannel)
 		}
 		if c.Share < 0 {
-			return fmt.Errorf("powermon: channel %q share must be non-negative", c.Name)
+			return fmt.Errorf("channel %q share must be non-negative: %w", c.Name, ErrBadChannel)
 		}
 		if c.CalibGain <= 0 {
-			return fmt.Errorf("powermon: channel %q calibration gain must be positive", c.Name)
+			return fmt.Errorf("channel %q calibration gain must be positive: %w", c.Name, ErrBadChannel)
 		}
 		total += c.Share
 	}
 	if total < 0.999 || total > 1.001 {
-		return fmt.Errorf("powermon: channel shares sum to %v, want 1", total)
+		return fmt.Errorf("channel shares sum to %v: %w", total, ErrBadShareSum)
 	}
 	return nil
 }
@@ -170,10 +169,10 @@ func (m *Meter) Record(sig Signal, duration units.Time, rng *stats.Stream) (*Tra
 		return nil, err
 	}
 	if duration <= 0 {
-		return nil, errors.New("powermon: duration must be positive")
+		return nil, ErrBadDuration
 	}
 	if sig == nil {
-		return nil, errors.New("powermon: nil signal")
+		return nil, ErrNilSignal
 	}
 	rate := m.EffectiveRate()
 	n := int(duration.Seconds() * rate)
@@ -234,20 +233,20 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	if len(rows) < 2 {
-		return nil, errors.New("powermon: empty trace")
+		return nil, ErrEmptyTrace
 	}
 	byChan := map[string][]Sample{}
 	var order []string
 	maxT := 0.0
 	for _, row := range rows[1:] {
 		if len(row) != 4 {
-			return nil, fmt.Errorf("powermon: malformed row %v", row)
+			return nil, fmt.Errorf("row %v: %w", row, ErrMalformedTrace)
 		}
 		ts, err1 := strconv.ParseFloat(row[1], 64)
 		v, err2 := strconv.ParseFloat(row[2], 64)
 		i, err3 := strconv.ParseFloat(row[3], 64)
 		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("powermon: malformed row %v", row)
+			return nil, fmt.Errorf("row %v: %w", row, ErrMalformedTrace)
 		}
 		if _, ok := byChan[row[0]]; !ok {
 			order = append(order, row[0])

@@ -33,6 +33,12 @@ type Metrics struct {
 	cacheMisses atomic.Int64
 	modelEvals  atomic.Int64
 	inFlight    atomic.Int64
+	shed        atomic.Int64
+	chaos       atomic.Int64
+
+	// breakerProbe, when set, reports the circuit breaker's state and
+	// open count for the exposition.
+	breakerProbe func() (breakerState, int64)
 }
 
 // latWindow is a fixed ring of recent latency samples in seconds.
@@ -98,6 +104,18 @@ func (m *Metrics) noteEval() { m.modelEvals.Add(1) }
 
 // noteInFlight adjusts the in-flight request gauge.
 func (m *Metrics) noteInFlight(delta int64) { m.inFlight.Add(delta) }
+
+// noteShed records one load-shed request.
+func (m *Metrics) noteShed() { m.shed.Add(1) }
+
+// noteChaos records one chaos-injected failure.
+func (m *Metrics) noteChaos() { m.chaos.Add(1) }
+
+// Shed reports the total load-shed requests so far.
+func (m *Metrics) Shed() int64 { return m.shed.Load() }
+
+// ChaosInjected reports the total chaos-injected failures so far.
+func (m *Metrics) ChaosInjected() int64 { return m.chaos.Load() }
 
 // ModelEvals reports the total model evaluations so far.
 func (m *Metrics) ModelEvals() int64 { return m.modelEvals.Load() }
@@ -169,6 +187,13 @@ func (m *Metrics) Render() string {
 	fmt.Fprintf(&b, "archlined_cache_hit_ratio %.4f\n", ratio)
 	fmt.Fprintf(&b, "archlined_model_evals_total %d\n", m.modelEvals.Load())
 	fmt.Fprintf(&b, "archlined_in_flight_requests %d\n", m.inFlight.Load())
+	fmt.Fprintf(&b, "archlined_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(&b, "archlined_chaos_injected_total %d\n", m.chaos.Load())
+	if m.breakerProbe != nil {
+		state, opens := m.breakerProbe()
+		fmt.Fprintf(&b, "archlined_breaker_state %d\n", int(state))
+		fmt.Fprintf(&b, "archlined_breaker_opens_total %d\n", opens)
+	}
 	return b.String()
 }
 

@@ -100,6 +100,27 @@ func (s *Server) serveInstrumented(pattern, method string, h handlerFunc, w http
 		s.metrics.noteInFlight(-1)
 		s.metrics.noteRequest(pattern, rec.status, time.Since(start))
 	}()
+
+	// Resilience gates for /v1 routes (liveness and metrics stay open):
+	// shed past the in-flight ceiling, fail fast while the breaker is
+	// open, and feed every admitted request's outcome back into it.
+	if !isShedExempt(pattern) {
+		if s.cfg.MaxInFlight > 0 && s.metrics.inFlight.Load() > int64(s.cfg.MaxInFlight) {
+			s.metrics.noteShed()
+			rec.Header().Set("Retry-After", retryAfterHeader(time.Second))
+			writeError(rec, errShed())
+			return
+		}
+		ok, retry := s.breaker.allow()
+		if !ok {
+			rec.Header().Set("Retry-After", retryAfterHeader(retry))
+			writeError(rec, errBreakerOpen())
+			return
+		}
+		// Registered before the panic recover below, so the recover
+		// (LIFO) rewrites rec.status first and the breaker sees the 500.
+		defer func() { s.breaker.record(rec.status >= http.StatusInternalServerError) }()
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			writeError(rec, errInternal("handler panic: %v", p))
@@ -109,6 +130,13 @@ func (s *Server) serveInstrumented(pattern, method string, h handlerFunc, w http
 	if r.Method != method {
 		writeError(rec, errMethodNotAllowed(r.Method))
 		return
+	}
+	if !isShedExempt(pattern) {
+		if aerr := s.chaos.intercept(); aerr != nil {
+			s.metrics.noteChaos()
+			writeError(rec, aerr)
+			return
+		}
 	}
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)

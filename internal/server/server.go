@@ -45,6 +45,24 @@ type Config struct {
 	// DrainTimeout bounds the graceful-shutdown drain of in-flight
 	// requests.
 	DrainTimeout time.Duration
+	// MaxInFlight caps concurrent requests before /v1 load shedding
+	// answers 429 + Retry-After. Zero means DefaultMaxInFlight;
+	// negative disables shedding.
+	MaxInFlight int
+	// BreakerWindow, BreakerErrRate, BreakerMinSamples, and
+	// BreakerCooldown tune the /v1 circuit breaker; zero fields take
+	// the resilience defaults.
+	BreakerWindow     time.Duration
+	BreakerErrRate    float64
+	BreakerMinSamples int
+	BreakerCooldown   time.Duration
+	// ChaosProfile, when set to a fault-profile name ("paper",
+	// "harsh"), turns on the chaos middleware: seeded synthetic 500s
+	// and latency spikes on /v1 routes. Never enabled implicitly; ""
+	// and "none" mean off.
+	ChaosProfile string
+	// ChaosSeed seeds the chaos draws for reproducible chaos runs.
+	ChaosSeed uint64
 }
 
 // Defaults for zero Config fields.
@@ -73,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = DefaultDrainTimeout
 	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
 	return c
 }
 
@@ -84,6 +105,11 @@ type Server struct {
 	cache   *lruCache
 	flights *flightGroup
 	metrics *Metrics
+	breaker *circuitBreaker
+	chaos   *chaosInjector
+	// initErr holds a construction failure (e.g. an unknown chaos
+	// profile); Run surfaces it before listening.
+	initErr error
 
 	// testHookEval, when set before the server starts, runs inside every
 	// model evaluation (cache-miss compute). Tests use it to hold a
@@ -100,7 +126,11 @@ func New(cfg Config) *Server {
 		cache:   newLRUCache(cfg.CacheEntries),
 		flights: newFlightGroup(),
 		metrics: NewMetrics(),
+		breaker: newCircuitBreaker(cfg.BreakerWindow, cfg.BreakerErrRate,
+			cfg.BreakerMinSamples, cfg.BreakerCooldown, nil),
 	}
+	s.chaos, s.initErr = newChaosInjector(cfg.ChaosProfile, cfg.ChaosSeed, nil)
+	s.metrics.breakerProbe = s.breaker.snapshot
 	s.handle("GET", "/healthz", s.handleHealthz)
 	s.handle("GET", "/metrics", s.handleMetrics)
 	s.handle("GET", "/v1/platforms", s.handlePlatforms)
@@ -182,6 +212,9 @@ func (s *Server) cachedJSON(key string, compute func() (any, *apiError)) (*cache
 // printed to stdout as "archlined listening on http://<addr>" so callers
 // (and the CI smoke test) can use port 0.
 func (s *Server) Run(ctx context.Context, stdout, stderr io.Writer) error {
+	if s.initErr != nil {
+		return fmt.Errorf("server: %w", s.initErr)
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
@@ -191,6 +224,10 @@ func (s *Server) Run(ctx context.Context, stdout, stderr io.Writer) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	_, _ = fmt.Fprintf(stdout, "archlined listening on http://%s\n", ln.Addr())
+	if s.chaos != nil {
+		_, _ = fmt.Fprintf(stdout, "archlined: CHAOS MODE enabled (profile %s, seed %d)\n",
+			s.cfg.ChaosProfile, s.cfg.ChaosSeed)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"archline/internal/cache"
+	"archline/internal/faults"
 	"archline/internal/machine"
 	"archline/internal/model"
 	"archline/internal/powermon"
@@ -163,6 +164,9 @@ type Measurement struct {
 	Time      units.Time
 	Energy    units.Energy
 	AvgPower  units.Power
+	// Quality reports what trace sanitization found and repaired; the
+	// zero value means the trace was taken at face value.
+	Quality powermon.Quality
 }
 
 // Options tune the simulator.
@@ -176,6 +180,15 @@ type Options struct {
 	// set-associative cache simulator instead of the analytic capacity
 	// rule. Slower; used by the fidelity ablation.
 	UseCacheSim bool
+	// Faults, when non-nil, injects the measurement pathologies of its
+	// profile: corrupted traces, thermal-throttle events, and transient
+	// meter disconnects (surfaced as powermon.ErrDisconnect).
+	Faults *faults.Injector
+	// Sanitize runs powermon trace sanitization on every recording and
+	// reports the result in Measurement.Quality. It is a no-op on clean
+	// traces and is skipped entirely for noiseless runs (a noiseless
+	// constant trace must never be "repaired").
+	Sanitize bool
 }
 
 // Simulator runs kernels on one platform.
@@ -485,19 +498,33 @@ func (s *Simulator) noiseStream(label string) *stats.Stream {
 }
 
 // Measure runs the kernel and records it with the platform's power meter,
-// returning the lab-bench measurement tuple.
+// returning the lab-bench measurement tuple. With a fault injector
+// configured it may return a transient error (powermon.IsTransient) the
+// caller can retry.
 func (s *Simulator) Measure(k Kernel) (Measurement, error) {
 	res, err := s.Run(k)
 	if err != nil {
 		return Measurement{}, err
 	}
+	label := string(s.plat.ID) + "/" + k.Name
+	sig, dur := res.Signal, res.TrueTime
+	if w, hit := s.opts.Faults.ThrottleEvent(label, dur.Seconds()); hit {
+		// Thermal throttle: the run stretches to conserve work while the
+		// dynamic power inside the window drops by the throttle factor.
+		sig = throttledSignal(sig, s.plat.Single.Pi1.Watts(), w)
+		dur = units.Time(w.Total)
+	}
 	var rng *stats.Stream
 	if !s.opts.Noiseless {
 		rng = stats.NewStream(s.opts.Seed^0xabcd, string(s.plat.ID)+"/meter/"+k.Name)
 	}
-	trace, err := s.meter.Record(res.Signal, res.TrueTime, rng)
+	trace, err := s.opts.Faults.Record(s.meter, sig, dur, rng, label)
 	if err != nil {
 		return Measurement{}, err
+	}
+	var qual powermon.Quality
+	if s.opts.Sanitize && !s.opts.Noiseless {
+		qual = trace.Sanitize()
 	}
 	w, q := res.W, res.Q
 	inten := units.Intensity(0)
@@ -514,10 +541,23 @@ func (s *Simulator) Measure(k Kernel) (Measurement, error) {
 		Q:         q,
 		Accesses:  res.Accesses,
 		Intensity: inten,
-		Time:      res.TrueTime,
+		Time:      dur,
 		Energy:    trace.Energy(),
 		AvgPower:  trace.AvgPower(),
+		Quality:   qual,
 	}, nil
+}
+
+// throttledSignal scales the dynamic (above-idle) portion of the signal
+// inside the throttle window.
+func throttledSignal(sig powermon.Signal, pi1 float64, w faults.ThrottleWindow) powermon.Signal {
+	return func(t units.Time) units.Power {
+		p := sig(t).Watts()
+		if ts := t.Seconds(); ts >= w.Start && ts < w.Start+w.Dur {
+			p = pi1 + w.Factor*(p-pi1)
+		}
+		return units.Power(p)
+	}
 }
 
 // MeasureIdle records the platform idling for the given duration: the
@@ -527,9 +567,13 @@ func (s *Simulator) MeasureIdle(duration units.Time) (units.Power, error) {
 	if !s.opts.Noiseless {
 		rng = stats.NewStream(s.opts.Seed^0x1d1e, string(s.plat.ID)+"/idle")
 	}
-	trace, err := s.meter.Record(powermon.Constant(s.plat.IdlePower), duration, rng)
+	trace, err := s.opts.Faults.Record(s.meter, powermon.Constant(s.plat.IdlePower), duration, rng,
+		string(s.plat.ID)+"/idle")
 	if err != nil {
 		return 0, err
+	}
+	if s.opts.Sanitize && !s.opts.Noiseless {
+		trace.Sanitize()
 	}
 	return trace.AvgPower(), nil
 }

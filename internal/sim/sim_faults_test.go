@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"archline/internal/faults"
+	"archline/internal/machine"
+	"archline/internal/powermon"
+)
+
+// measureWithFaults runs the kernel under the given options, retrying
+// transient disconnects without sleeping.
+func measureWithFaults(t *testing.T, opts Options, k Kernel) Measurement {
+	t.Helper()
+	s := New(machine.MustByID(machine.GTXTitan), opts)
+	for attempt := 0; attempt < 10; attempt++ {
+		m, err := s.Measure(k)
+		if err == nil {
+			return m
+		}
+		if !powermon.IsTransient(err) {
+			t.Fatal(err)
+		}
+	}
+	t.Fatal("measure never recovered from transient faults")
+	return Measurement{}
+}
+
+func TestMeasureWithFaultsAndSanitizeStaysClose(t *testing.T) {
+	k := streamKernel(8)
+	clean, err := titanSim(false).Measure(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := faults.Paper()
+	prof.ThrottleProb = 0 // throttle stretches time; tested separately
+	opts := Options{Seed: 42, Faults: faults.New(prof, 7), Sanitize: true}
+	got := measureWithFaults(t, opts, k)
+	if got.Quality.Grade > powermon.GradeB {
+		t.Errorf("paper-profile quality grade = %v", got.Quality.Grade)
+	}
+	// Sanitized power must land within 2% of the clean measurement
+	// (calibration drift alone allows ±0.4%).
+	cw, gw := clean.AvgPower.Watts(), got.AvgPower.Watts()
+	if math.Abs(gw-cw)/cw > 0.02 {
+		t.Errorf("sanitized power %v, clean %v", gw, cw)
+	}
+	if got.Time != clean.Time {
+		t.Errorf("time changed without a throttle event: %v vs %v", got.Time, clean.Time)
+	}
+}
+
+func TestMeasureThrottleStretchesRun(t *testing.T) {
+	k := streamKernel(8)
+	clean, err := titanSim(false).Measure(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := faults.Paper()
+	prof.ThrottleProb = 1 // force the event
+	prof.DisconnectProb = 0
+	opts := Options{Seed: 42, Faults: faults.New(prof, 7), Sanitize: true}
+	got := measureWithFaults(t, opts, k)
+	f, g := prof.ThrottleFactor, prof.ThrottleWorkFrac
+	wantStretch := (1 - g) + g/f
+	stretch := got.Time.Seconds() / clean.Time.Seconds()
+	if math.Abs(stretch-wantStretch) > 0.01*wantStretch {
+		t.Errorf("throttle stretched time by %.3fx, want %.3fx", stretch, wantStretch)
+	}
+	// Average power drops: part of the run draws only Factor of the
+	// dynamic power.
+	if got.AvgPower >= clean.AvgPower {
+		t.Errorf("throttled power %v not below clean %v", got.AvgPower, clean.AvgPower)
+	}
+}
+
+func TestMeasureFaultsDeterministic(t *testing.T) {
+	k := streamKernel(8)
+	mk := func() Measurement {
+		opts := Options{Seed: 42, Faults: faults.New(faults.Paper(), 7), Sanitize: true}
+		return measureWithFaults(t, opts, k)
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Errorf("same fault seed produced different measurements:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMeasureNilInjectorUnchanged(t *testing.T) {
+	// Options without faults must behave exactly as before the fault
+	// layer existed.
+	k := streamKernel(8)
+	want, err := titanSim(false).Measure(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := measureWithFaults(t, Options{Seed: 42}, k)
+	if got != want {
+		t.Errorf("nil injector changed measurement:\n%+v\n%+v", got, want)
+	}
+}

@@ -60,4 +60,43 @@ if ! wait "$daemon_pid"; then
 fi
 kill "$watchdog_pid" 2>/dev/null || true
 
+echo "ci: archlined chaos smoke test"
+# Boot a second daemon with the chaos middleware explicitly enabled and
+# assert graceful degradation: no 5xx without the JSON error envelope,
+# Retry-After on shed/breaker responses, liveness intact throughout.
+"$tmpdir/archlined" -addr 127.0.0.1:0 -chaos paper -chaos-seed 42 -max-inflight 64 \
+    >"$tmpdir/chaos.log" 2>&1 &
+chaos_pid=$!
+
+chaos_base=""
+for _ in $(seq 1 50); do
+    chaos_base=$(sed -n 's/^archlined listening on \(.*\)$/\1/p' "$tmpdir/chaos.log")
+    [ -n "$chaos_base" ] && break
+    sleep 0.1
+done
+if [ -z "$chaos_base" ]; then
+    echo "ci: chaos archlined never announced its address" >&2
+    cat "$tmpdir/chaos.log" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! grep -q "CHAOS MODE enabled" "$tmpdir/chaos.log"; then
+    echo "ci: chaos archlined did not announce chaos mode" >&2
+    cat "$tmpdir/chaos.log" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+
+go run ./scripts/smoke -base "$chaos_base" -chaos
+
+kill -TERM "$chaos_pid"
+( sleep 5; kill -9 "$chaos_pid" 2>/dev/null ) &
+chaos_watchdog_pid=$!
+if ! wait "$chaos_pid"; then
+    echo "ci: chaos archlined did not drain cleanly on SIGTERM" >&2
+    cat "$tmpdir/chaos.log" >&2
+    exit 1
+fi
+kill "$chaos_watchdog_pid" 2>/dev/null || true
+
 echo "ci: OK"

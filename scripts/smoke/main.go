@@ -1,8 +1,12 @@
 // smoke is the CI smoke probe for archlined: pointed at a running
 // daemon, it checks /healthz, the shape of one roofline sweep, response
 // determinism (two identical requests must return identical bytes), and
-// the metrics exposition. It exits nonzero on the first failure; see
-// scripts/ci.sh for the harness that boots the daemon around it.
+// the metrics exposition. With -chaos it instead asserts graceful
+// degradation against a daemon running with chaos middleware enabled:
+// every failure must carry the JSON error envelope (no naked 5xx),
+// every 429/503 must carry Retry-After, and liveness must survive. It
+// exits nonzero on the first failure; see scripts/ci.sh for the harness
+// that boots the daemon around it.
 package main
 
 import (
@@ -18,11 +22,17 @@ import (
 
 func main() {
 	base := flag.String("base", "", "archlined base URL (required)")
+	chaos := flag.Bool("chaos", false, "probe a chaos-mode daemon for graceful degradation")
 	flag.Parse()
 	if *base == "" {
 		log.Fatal("smoke: -base is required")
 	}
 	client := &http.Client{Timeout: 10 * time.Second}
+	if *chaos {
+		chaosProbe(client, *base)
+		fmt.Println("smoke: chaos OK")
+		return
+	}
 
 	// Liveness.
 	var health struct {
@@ -88,6 +98,72 @@ func main() {
 	}
 
 	fmt.Println("smoke: OK")
+}
+
+// chaosProbe hammers a chaos-mode daemon and asserts graceful
+// degradation: successes are well-formed, every non-2xx response
+// carries the JSON error envelope with a matching status, shed/breaker
+// responses carry Retry-After, and the exempt routes stay healthy.
+func chaosProbe(client *http.Client, base string) {
+	const requests = 200
+	var oks, injected int
+	for i := 0; i < requests; i++ {
+		url := fmt.Sprintf("%s/v1/platforms/gtx-titan/roofline?points=%d", base, 5+i%13)
+		resp, err := client.Get(url)
+		if err != nil {
+			log.Fatalf("smoke: chaos request %d: %v", i, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			log.Fatalf("smoke: chaos request %d read: %v", i, err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			oks++
+			continue
+		}
+		// Degradation contract: failures are structured, never naked.
+		var env struct {
+			Error struct {
+				Code   string `json:"code"`
+				Status int    `json:"status"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+			log.Fatalf("smoke: chaos request %d: status %d without error envelope: %s",
+				i, resp.StatusCode, body)
+		}
+		if env.Error.Status != resp.StatusCode {
+			log.Fatalf("smoke: chaos request %d: envelope status %d != HTTP status %d",
+				i, env.Error.Status, resp.StatusCode)
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if resp.Header.Get("Retry-After") == "" {
+				log.Fatalf("smoke: chaos request %d: %d without Retry-After", i, resp.StatusCode)
+			}
+		}
+		injected++
+	}
+	if oks == 0 {
+		log.Fatalf("smoke: chaos daemon served no successes in %d requests", requests)
+	}
+
+	// Liveness and observability are chaos-exempt and must still work.
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := getJSON(client, base+"/healthz", &health); err != nil || health.Status != "ok" {
+		log.Fatalf("smoke: healthz under chaos: %v (status %q)", err, health.Status)
+	}
+	metrics, err := getBody(client, base+"/metrics")
+	if err != nil {
+		log.Fatalf("smoke: metrics under chaos: %v", err)
+	}
+	if !strings.Contains(string(metrics), "archlined_chaos_injected_total") {
+		log.Fatalf("smoke: metrics missing chaos counter:\n%s", metrics)
+	}
+	fmt.Printf("smoke: chaos probe: %d ok, %d degraded of %d requests\n", oks, injected, requests)
 }
 
 // getBody fetches url and returns the body, failing on non-200.
