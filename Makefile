@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check ci chaos fmt serve
+.PHONY: build test race vet lint check ci chaos fmt serve profile
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,8 @@ vet:
 
 ## lint runs the in-repo static-analysis suite (cmd/archlint):
 ## unit-safety, float comparisons, map-order determinism, dropped
-## errors, and goroutine hygiene. Exits nonzero on any unsuppressed
-## finding.
+## errors, goroutine hygiene, simulator seeding, and span-lifecycle
+## discipline. Exits nonzero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/archlint ./...
 
@@ -43,3 +43,8 @@ fmt:
 ## serve runs archlined, the HTTP/JSON query daemon, on :8080.
 serve:
 	$(GO) run ./cmd/archlined
+
+## profile boots archlined with -pprof, drives query load at it, and
+## captures a CPU profile to cpu.pprof (override with OUT=/path).
+profile:
+	./scripts/profile.sh

@@ -1,6 +1,8 @@
 // Command archlined runs the energy-roofline query daemon: an HTTP/JSON
 // API over the model, platform database, and what-if scenario engines.
-// It is `archline serve` packaged as a standalone binary.
+// It is `archline serve` packaged as a standalone binary, so every
+// serve flag applies, including -trace-log (NDJSON request spans),
+// -pprof (mount /debug/pprof/), and -chaos.
 package main
 
 import (

@@ -1,7 +1,8 @@
-// Command archlint runs archline's in-repo static-analysis suite: five
-// analyzers (unitsafety, floatcmp, maporder, errdrop, ctxgoroutine)
-// that enforce the unit-safety, determinism, and concurrency-hygiene
-// discipline the energy-model reproduction depends on. It is built
+// Command archlint runs archline's in-repo static-analysis suite: seven
+// analyzers (unitsafety, floatcmp, maporder, errdrop, ctxgoroutine,
+// simseed, spanclose) that enforce the unit-safety, determinism,
+// concurrency-hygiene, and span-lifecycle discipline the energy-model
+// reproduction depends on. It is built
 // entirely on the standard library's go/ast, go/parser, go/types, and
 // go/importer packages.
 //

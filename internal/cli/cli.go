@@ -22,6 +22,7 @@ import (
 	"archline/internal/machine"
 	"archline/internal/microbench"
 	"archline/internal/model"
+	"archline/internal/obs"
 	"archline/internal/report"
 	"archline/internal/server"
 	"archline/internal/sim"
@@ -61,7 +62,7 @@ commands:
   scaling    Strong/weak cluster scaling of the Arndale building block
   export     Dump every platform's suite measurements as CSV (released dataset)
   fit        Fit one platform (-platform) and print recovered constants
-  measure    Fault-tolerant measure+fit for one platform (-platform, -faults, -fault-seed)
+  measure    Fault-tolerant measure+fit for one platform (-platform, -faults, -fault-seed, -trace-out)
   sweep      Print one platform's model curves over intensity (-platform)
   roofline   ASCII time and energy rooflines for one platform (-platform)
   list       List the twelve platforms
@@ -96,6 +97,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		platFile   = fs.String("platform-file", "", "JSON platform description to use instead of -platform")
 		faultsProf = fs.String("faults", "none", "fault-injection profile for measure: none, paper, harsh")
 		faultSeed  = fs.Uint64("fault-seed", 7, "fault-schedule seed for measure (same seed, same faults)")
+		traceOut   = fs.String("trace-out", "", "write the measure pipeline's span tree to this file as NDJSON")
 	)
 	fs.Usage = func() {
 		_, _ = fmt.Fprint(stderr, Usage)
@@ -127,7 +129,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		if err := measurePlatform(opts, plat, *faultsProf, *faultSeed, stdout); err != nil {
+		if err := measurePlatform(opts, plat, *faultsProf, *faultSeed, *traceOut, stdout); err != nil {
 			return fail(err)
 		}
 		return ExitOK
@@ -169,6 +171,8 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 		chaosProf = fs.String("chaos", "",
 			"chaos middleware fault profile (paper, harsh); off unless set explicitly")
 		chaosSeed = fs.Uint64("chaos-seed", 42, "seed for chaos draws (same seed, same chaos)")
+		traceLog  = fs.String("trace-log", "", "write every finished request span to this file as NDJSON")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return ExitUsage
@@ -194,8 +198,26 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 		MaxInFlight:    *maxInflight,
 		ChaosProfile:   *chaosProf,
 		ChaosSeed:      *chaosSeed,
+		LogWriter:      stderr,
+		EnablePprof:    *pprofOn,
 	}
-	if err := server.Run(ctx, cfg, stdout, stderr); err != nil {
+	var tf *os.File
+	if *traceLog != "" {
+		var err error
+		tf, err = os.Create(*traceLog)
+		if err != nil {
+			_, _ = fmt.Fprintln(stderr, "archline serve:", err)
+			return ExitRuntime
+		}
+		cfg.TraceWriter = tf
+	}
+	err := server.Run(ctx, cfg, stdout, stderr)
+	if tf != nil {
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		_, _ = fmt.Fprintln(stderr, "archline serve:", err)
 		return ExitRuntime
 	}
@@ -386,61 +408,92 @@ func loadPlatform(path string, id machine.ID) (*machine.Platform, error) {
 // platform — repeat measurements with retry under the requested fault
 // profile, trace sanitization, outlier-trimmed aggregation — then fits
 // the model constants and reports per-kernel quality plus the overall
-// degradation grade.
-func measurePlatform(opts experiments.Options, plat *machine.Platform, profile string, faultSeed uint64, w io.Writer) error {
+// degradation grade. With traceOut set, the whole pipeline runs under a
+// root span and the finished span tree is written there as NDJSON.
+func measurePlatform(opts experiments.Options, plat *machine.Platform, profile string,
+	faultSeed uint64, traceOut string, w io.Writer) error {
 	prof, err := faults.ByName(profile)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrUsage, err)
 	}
-	cfg := microbench.DefaultConfig()
-	if opts.SweepPoints > 0 {
-		cfg.SweepPoints = opts.SweepPoints
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	var tf *os.File
+	if traceOut != "" {
+		tf, err = os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		tracer = obs.NewTracer(tf)
+		ctx = obs.WithTracer(ctx, tracer)
 	}
-	simOpts := sim.Options{Seed: opts.Seed, Noiseless: opts.Noiseless, Sanitize: true}
-	if prof.Enabled() {
-		simOpts.Faults = faults.New(prof, faultSeed)
-	}
-	rc := microbench.RobustConfig{}
-	if opts.Replicates > 1 {
-		rc.Repeats = opts.Replicates
-	}
-	res, rs, err := microbench.RunRobust(plat, cfg, simOpts, rc)
-	if err != nil {
+	// The pipeline runs in a closure so the root span has ended (and
+	// exported) before the trace file is closed and summarized.
+	err = func() error {
+		ctx, span := obs.Start(ctx, "archline.measure",
+			obs.String("platform", string(plat.ID)), obs.String("profile", prof.Name))
+		defer span.End()
+		cfg := microbench.DefaultConfig()
+		if opts.SweepPoints > 0 {
+			cfg.SweepPoints = opts.SweepPoints
+		}
+		simOpts := sim.Options{Seed: opts.Seed, Noiseless: opts.Noiseless, Sanitize: true}
+		if prof.Enabled() {
+			simOpts.Faults = faults.New(prof, faultSeed)
+		}
+		rc := microbench.RobustConfig{}
+		if opts.Replicates > 1 {
+			rc.Repeats = opts.Replicates
+		}
+		res, rs, err := microbench.RunRobustContext(ctx, plat, cfg, simOpts, rc)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s: robust measurement, fault profile %s (fault seed %d)\n\n",
+			plat.Name, prof.Name, faultSeed); err != nil {
+			return err
+		}
+		qt := &report.Table{
+			Title:   "per-kernel measurement quality",
+			Headers: []string{"kernel", "intensity", "power", "grade", "gaps", "spikes", "stuck", "repaired"},
+		}
+		for _, m := range res.Measurements {
+			q := m.Quality
+			qt.AddRow(m.Kernel, units.FormatIntensity(m.Intensity), units.FormatPower(m.AvgPower),
+				q.Grade.String(), strconv.Itoa(q.GapsFilled), strconv.Itoa(q.SpikesRemoved),
+				strconv.Itoa(q.StuckRepaired), fmt.Sprintf("%.1f%%", 100*q.RepairedFrac))
+		}
+		if _, err := fmt.Fprintln(w, qt.Render()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "suite: %s\n\n", rs); err != nil {
+			return err
+		}
+		pf, err := fit.PlatformContext(ctx, res, fit.Options{Seed: opts.Seed})
+		if err != nil {
+			return err
+		}
+		if err := renderFit(plat, pf, w); err != nil {
+			return err
+		}
+		robust := "no"
+		if pf.RobustApplied {
+			robust = "yes (Huber re-fit)"
+		}
+		_, err = fmt.Fprintf(w, "degradation grade: %s (contamination %.1f%%, robust re-fit: %s)\n",
+			pf.Grade, 100*pf.Contamination, robust)
 		return err
+	}()
+	if tf != nil {
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			st := tracer.Stats()
+			_, err = fmt.Fprintf(w, "trace: %d spans, %d events -> %s\n",
+				st.Ended, st.Events, traceOut)
+		}
 	}
-	if _, err := fmt.Fprintf(w, "%s: robust measurement, fault profile %s (fault seed %d)\n\n",
-		plat.Name, prof.Name, faultSeed); err != nil {
-		return err
-	}
-	qt := &report.Table{
-		Title:   "per-kernel measurement quality",
-		Headers: []string{"kernel", "intensity", "power", "grade", "gaps", "spikes", "stuck", "repaired"},
-	}
-	for _, m := range res.Measurements {
-		q := m.Quality
-		qt.AddRow(m.Kernel, units.FormatIntensity(m.Intensity), units.FormatPower(m.AvgPower),
-			q.Grade.String(), strconv.Itoa(q.GapsFilled), strconv.Itoa(q.SpikesRemoved),
-			strconv.Itoa(q.StuckRepaired), fmt.Sprintf("%.1f%%", 100*q.RepairedFrac))
-	}
-	if _, err := fmt.Fprintln(w, qt.Render()); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "suite: %s\n\n", rs); err != nil {
-		return err
-	}
-	pf, err := fit.Platform(res, fit.Options{Seed: opts.Seed})
-	if err != nil {
-		return err
-	}
-	if err := renderFit(plat, pf, w); err != nil {
-		return err
-	}
-	robust := "no"
-	if pf.RobustApplied {
-		robust = "yes (Huber re-fit)"
-	}
-	_, err = fmt.Fprintf(w, "degradation grade: %s (contamination %.1f%%, robust re-fit: %s)\n",
-		pf.Grade, 100*pf.Contamination, robust)
 	return err
 }
 

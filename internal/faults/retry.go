@@ -91,6 +91,16 @@ func (b Backoff) Delay(attempt int, rng *stats.Stream) time.Duration {
 // of retries performed and the final error (nil on success; the last
 // transient error wrapped with context if the budget runs out).
 func Retry(b Backoff, sleep func(time.Duration), rng *stats.Stream, op func() error) (retries int, err error) {
+	return RetryNotify(b, sleep, rng, nil, op)
+}
+
+// RetryNotify is Retry with an observer: notify (when non-nil) runs
+// before each backoff sleep with the failed attempt number (1-based),
+// the delay about to be taken, and the transient error being retried.
+// Callers use it to emit retry events onto a span without the retry
+// loop knowing anything about tracing.
+func RetryNotify(b Backoff, sleep func(time.Duration), rng *stats.Stream,
+	notify func(attempt int, delay time.Duration, err error), op func() error) (retries int, err error) {
 	b = b.withDefaults()
 	if sleep == nil {
 		sleep = time.Sleep
@@ -103,7 +113,11 @@ func Retry(b Backoff, sleep func(time.Duration), rng *stats.Stream, op func() er
 		if attempt >= b.Attempts {
 			return retries, fmt.Errorf("faults: gave up after %d attempts: %w", b.Attempts, err)
 		}
-		sleep(b.Delay(attempt, rng))
+		delay := b.Delay(attempt, rng)
+		if notify != nil {
+			notify(attempt, delay, err)
+		}
+		sleep(delay)
 		retries++
 	}
 }

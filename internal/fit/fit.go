@@ -1,12 +1,16 @@
 package fit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"archline/internal/microbench"
 	"archline/internal/model"
+	// Aliased: "obs" is this package's conventional name for the
+	// observation slice the fitters consume.
+	tele "archline/internal/obs"
 	"archline/internal/powermon"
 	"archline/internal/sim"
 	"archline/internal/units"
@@ -187,8 +191,17 @@ func (o Options) withDefaults() Options {
 // Platform runs the full fitting pipeline on a suite result: the joint
 // six-parameter DRAM fit, then the per-cache-level fits with the
 // flop-side parameters frozen, then the double-precision flop energy and
-// the random-access mode.
+// the random-access mode. It is PlatformContext without tracing.
 func Platform(res *microbench.Result, opts Options) (*PlatformFit, error) {
+	return PlatformContext(context.Background(), res, opts)
+}
+
+// PlatformContext is Platform under a fit.platform span: the residual
+// diagnostics and any Huber re-fit are recorded as span events, and the
+// span closes with the fit's grade, residual, and contamination.
+func PlatformContext(ctx context.Context, res *microbench.Result, opts Options) (*PlatformFit, error) {
+	_, span := tele.Start(ctx, "fit.platform", tele.String("platform", string(res.Platform.ID)))
+	defer span.End()
 	opts = opts.withDefaults()
 	sweep := res.Sweep(sim.Single)
 	obs := toObservations(sweep)
@@ -216,9 +229,14 @@ func Platform(res *microbench.Result, opts Options) (*PlatformFit, error) {
 		Residual: math.Sqrt(best.F / float64(2*len(obs))),
 	}
 	// Contamination diagnostics: if the least-squares solution looks
-	// dragged by outliers, refit with a Huber loss (robust.go).
-	robustRefit(out, obs, tauF, tauM, maxP, best, opts)
+	// dragged by outliers, refit with a Huber loss (robust.go). The span
+	// collects the diagnostics and any re-fit as events.
+	robustRefit(span, out, obs, tauF, tauM, maxP, best, opts)
 	out.Grade = fitGrade(out, res)
+	span.SetAttr(tele.String("grade", out.Grade.String()),
+		tele.Float("residual", out.Residual),
+		tele.Float("contamination", out.Contamination),
+		tele.Bool("huber_refit", out.RobustApplied))
 
 	// Double precision: refit the flop side only on the DP sweep.
 	if dp := toObservations(res.Sweep(sim.Double)); len(dp) >= 6 {

@@ -6,6 +6,9 @@ import (
 
 	"archline/internal/microbench"
 	"archline/internal/model"
+	// Aliased: "obs" is this package's conventional name for the
+	// observation slice the fitters consume.
+	tele "archline/internal/obs"
 	"archline/internal/powermon"
 	"archline/internal/units"
 )
@@ -122,17 +125,21 @@ func huberObjective(obs []observation, tauF, tauM, maxP, delta float64) Objectiv
 
 // robustRefit inspects the least-squares solution's residuals and, when
 // they look contaminated, replaces the fit with a Huber refit seeded
-// from the least-squares point. It updates out in place.
-func robustRefit(out *PlatformFit, obs []observation, tauF, tauM, maxP float64,
+// from the least-squares point. It updates out in place and narrates
+// the diagnostics and any re-fit as events on span (which may be nil).
+func robustRefit(span *tele.Span, out *PlatformFit, obs []observation, tauF, tauM, maxP float64,
 	best NMResult, opts Options) {
 	d := diagnose(residuals(obs, out.Params))
 	out.Contamination = d.contamination
+	span.Event("residual.diagnostics", tele.Float("contamination", d.contamination),
+		tele.Float("scale", d.scale), tele.Float("rms", d.rms))
 	if d.contamination <= contaminationThreshold || d.scale <= 0 {
 		return
 	}
 	rb, err := MultiStart(huberObjective(obs, tauF, tauM, maxP, huberK*d.scale),
 		best.X, opts.Restarts, opts.Spread, opts.Seed+3, opts.NM)
 	if err != nil || math.IsInf(rb.F, 0) {
+		span.Event("huber.refit.failed")
 		return // keep the least-squares fit; the grade will say C
 	}
 	params := paramsFromLog(tauF, tauM, rb.X)
@@ -141,6 +148,8 @@ func robustRefit(out *PlatformFit, obs []observation, tauF, tauM, maxP float64,
 	out.RobustApplied = true
 	out.Contamination = d2.contamination
 	out.Residual = d2.rms
+	span.Event("huber.refit", tele.Float("contamination_before", d.contamination),
+		tele.Float("contamination_after", d2.contamination), tele.Float("rms", d2.rms))
 }
 
 // fitGrade buckets the fit's trustworthiness from the residual

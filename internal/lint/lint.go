@@ -138,6 +138,7 @@ func All() []*Analyzer {
 		ErrDrop,
 		CtxGoroutine,
 		SimSeed,
+		SpanClose,
 	}
 }
 

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsPkgPath is the import path of the tracing package SpanClose guards.
+const obsPkgPath = "archline/internal/obs"
+
+// SpanClose enforces the span lifecycle idiom around obs.Start: every
+// started span must be bound to a variable and closed with a deferred
+// End in the same block —
+//
+//	ctx, span := obs.Start(ctx, "layer.operation", ...)
+//	defer span.End()
+//
+// A span that is never ended never exports (the trace silently loses a
+// subtree), and an End that is not deferred misses every early-return
+// and panic path, which is exactly when a trace is worth reading.
+var SpanClose = &Analyzer{
+	Name: "spanclose",
+	Doc:  "flags obs.Start spans that are dropped, discarded, or not closed with defer span.End()",
+	Run:  runSpanClose,
+}
+
+func runSpanClose(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkSpanBlock(pass, block)
+			return true
+		})
+	}
+}
+
+// checkSpanBlock inspects one block's direct statements for obs.Start
+// calls and verifies each resulting span is deferred-closed later in
+// the same block. Nested blocks are handled by their own visit.
+func checkSpanBlock(pass *Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isObsStart(pass, call) {
+				pass.Reportf(s.Pos(), "obs.Start result dropped; bind the span and defer span.End(), or the span never exports")
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				continue
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isObsStart(pass, call) || len(s.Lhs) != 2 {
+				continue
+			}
+			id, ok := s.Lhs[1].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if id.Name == "_" {
+				pass.Reportf(id.Pos(), "span from obs.Start discarded; a span that is never ended never exports")
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if !hasDeferredEnd(pass, block.List[i+1:], obj) {
+				pass.Reportf(id.Pos(), "started span %s has no defer %s.End() in this block; a non-deferred End misses early-return and panic paths", id.Name, id.Name)
+			}
+		}
+	}
+}
+
+// isObsStart reports whether call is <obs-package>.Start(...), resolving
+// the package through the type info so import aliases are honored.
+func isObsStart(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == obsPkgPath
+}
+
+// hasDeferredEnd reports whether one of stmts is `defer <span>.End()`
+// on the given span object.
+func hasDeferredEnd(pass *Pass, stmts []ast.Stmt, span types.Object) bool {
+	for _, stmt := range stmts {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		sel, ok := ast.Unparen(d.Call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			continue
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if pass.Info.Uses[id] == span {
+			return true
+		}
+	}
+	return false
+}

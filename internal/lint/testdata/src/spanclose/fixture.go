@@ -1,0 +1,64 @@
+// Package spanclose is an archlint test fixture: spans started without
+// a deferred End, next to clean code that must not be flagged.
+package spanclose
+
+import (
+	"context"
+
+	"archline/internal/obs"
+)
+
+// Clean: the canonical idiom, defer immediately after Start.
+func clean(ctx context.Context) {
+	ctx, span := obs.Start(ctx, "clean.op")
+	defer span.End()
+	_ = ctx
+}
+
+// Clean: the defer may come later, as long as it is in the same block.
+func cleanLater(ctx context.Context) {
+	ctx, span := obs.Start(ctx, "clean.later")
+	_ = ctx
+	defer span.End()
+}
+
+// Bad: the span is never ended, so it never exports.
+func leaks(ctx context.Context) {
+	ctx, span := obs.Start(ctx, "leaks.op")
+	_ = ctx
+	_ = span
+}
+
+// Bad: the span result is discarded outright.
+func discards(ctx context.Context) {
+	ctx, _ = obs.Start(ctx, "discards.op")
+	_ = ctx
+}
+
+// Bad: End is called, but not deferred — an early return or panic
+// between Start and End loses the span.
+func conditional(ctx context.Context, fail bool) {
+	ctx, span := obs.Start(ctx, "conditional.op")
+	if fail {
+		return
+	}
+	_ = ctx
+	span.End()
+}
+
+// Bad: both results dropped on the floor.
+func dropped(ctx context.Context) {
+	obs.Start(ctx, "dropped.op")
+}
+
+// Bad: the closure opens its own span and leaks it; the outer span is
+// handled correctly and must not be flagged.
+func nested(ctx context.Context) {
+	ctx, span := obs.Start(ctx, "nested.outer")
+	defer span.End()
+	f := func() {
+		_, inner := obs.Start(ctx, "nested.inner")
+		_ = inner
+	}
+	f()
+}

@@ -1,12 +1,14 @@
 package microbench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"archline/internal/faults"
 	"archline/internal/machine"
+	"archline/internal/obs"
 	"archline/internal/powermon"
 	"archline/internal/sim"
 	"archline/internal/stats"
@@ -65,8 +67,20 @@ func repeatSuffix(rep int) string { return fmt.Sprintf("@r%d", rep) }
 // drag. The aggregated Result is shaped exactly like Run's, so the
 // fitting pipeline consumes it unchanged.
 func RunRobust(plat *machine.Platform, cfg Config, opts sim.Options, rc RobustConfig) (*Result, *RobustStats, error) {
+	return RunRobustContext(context.Background(), plat, cfg, opts, rc)
+}
+
+// RunRobustContext is RunRobust under a microbench.suite span: each
+// kernel gets a child span carrying retry, lost-repeat, and discard
+// events, and the suite span closes with the aggregate robustness
+// stats. Without a tracer on ctx it behaves exactly like RunRobust.
+func RunRobustContext(ctx context.Context, plat *machine.Platform, cfg Config,
+	opts sim.Options, rc RobustConfig) (*Result, *RobustStats, error) {
 	rc = rc.withDefaults()
 	opts.Sanitize = true
+	ctx, span := obs.Start(ctx, "microbench.suite",
+		obs.String("platform", string(plat.ID)), obs.Int("repeats", rc.Repeats))
+	defer span.End()
 	kernels, err := BuildSuite(plat, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -75,23 +89,28 @@ func RunRobust(plat *machine.Platform, cfg Config, opts sim.Options, rc RobustCo
 	res := &Result{Platform: plat}
 	rs := &RobustStats{Repeats: rc.Repeats}
 	for _, k := range kernels {
-		m, err := measureKernelRobust(s, k, rc, rs, opts.Seed)
+		m, err := measureKernelRobust(ctx, s, k, rc, rs, opts.Seed)
 		if err != nil {
 			return nil, nil, fmt.Errorf("microbench: %s on %s: %w", k.Name, plat.Name, err)
 		}
 		res.Measurements = append(res.Measurements, m)
 	}
-	idle, err := measureIdleRobust(s, rc, rs, opts.Seed, plat)
+	idle, err := measureIdleRobust(ctx, s, rc, rs, opts.Seed, plat)
 	if err != nil {
 		return nil, nil, err
 	}
 	res.IdlePower = idle
+	span.SetAttr(obs.Int("kernels", len(res.Measurements)), obs.Int("retries", rs.Retries),
+		obs.Int("discarded", rs.Discarded), obs.String("worst_grade", rs.WorstGrade.String()))
 	return res, rs, nil
 }
 
 // measureKernelRobust measures one kernel Repeats times with retry,
 // discards contaminated repeats, and aggregates the survivors.
-func measureKernelRobust(s *sim.Simulator, k sim.Kernel, rc RobustConfig, rs *RobustStats, seed uint64) (sim.Measurement, error) {
+func measureKernelRobust(ctx context.Context, s *sim.Simulator, k sim.Kernel,
+	rc RobustConfig, rs *RobustStats, seed uint64) (sim.Measurement, error) {
+	ctx, span := obs.Start(ctx, "microbench.kernel", obs.String("kernel", k.Name))
+	defer span.End()
 	var reps []sim.Measurement
 	var lastErr error
 	for rep := 0; rep < rc.Repeats; rep++ {
@@ -99,13 +118,19 @@ func measureKernelRobust(s *sim.Simulator, k sim.Kernel, rc RobustConfig, rs *Ro
 		rk.Name = k.Name + repeatSuffix(rep)
 		rng := stats.NewStream(seed^0x5e77, string(s.Platform().ID)+"/retry/"+rk.Name)
 		var m sim.Measurement
-		retries, err := faults.Retry(rc.Backoff, rc.Sleep, rng, func() error {
-			var merr error
-			m, merr = s.Measure(rk)
-			return merr
-		})
+		retries, err := faults.RetryNotify(rc.Backoff, rc.Sleep, rng,
+			func(attempt int, delay time.Duration, rerr error) {
+				span.Event("fault.retry", obs.String("kernel", rk.Name), obs.Int("attempt", attempt),
+					obs.Float("delay_s", delay.Seconds()), obs.String("error", rerr.Error()))
+			},
+			func() error {
+				var merr error
+				m, merr = s.MeasureContext(ctx, rk)
+				return merr
+			})
 		rs.Retries += retries
 		if err != nil {
+			span.Event("repeat.lost", obs.String("kernel", rk.Name), obs.String("error", err.Error()))
 			lastErr = err
 			continue // this repeat is lost; others may still land
 		}
@@ -116,11 +141,15 @@ func measureKernelRobust(s *sim.Simulator, k sim.Kernel, rc RobustConfig, rs *Ro
 		return sim.Measurement{}, fmt.Errorf("all %d repeats failed: %w", rc.Repeats, lastErr)
 	}
 	kept := discardContaminated(reps)
+	if d := len(reps) - len(kept); d > 0 {
+		span.Event("repeat.discarded", obs.Int("count", d))
+	}
 	rs.Discarded += len(reps) - len(kept)
 	agg := aggregate(kept)
 	if agg.Quality.Grade > rs.WorstGrade {
 		rs.WorstGrade = agg.Quality.Grade
 	}
+	span.SetAttr(obs.String("grade", agg.Quality.Grade.String()), obs.Int("kept", len(kept)))
 	return agg, nil
 }
 
@@ -167,19 +196,28 @@ func aggregate(reps []sim.Measurement) sim.Measurement {
 
 // measureIdleRobust records the idle baseline with retry and takes the
 // median across repeats.
-func measureIdleRobust(s *sim.Simulator, rc RobustConfig, rs *RobustStats, seed uint64, plat *machine.Platform) (units.Power, error) {
+func measureIdleRobust(ctx context.Context, s *sim.Simulator, rc RobustConfig,
+	rs *RobustStats, seed uint64, plat *machine.Platform) (units.Power, error) {
+	ctx, span := obs.Start(ctx, "microbench.idle", obs.Int("repeats", rc.Repeats))
+	defer span.End()
 	var idles []float64
 	var lastErr error
 	for rep := 0; rep < rc.Repeats; rep++ {
 		rng := stats.NewStream(seed^0x5e77, string(plat.ID)+"/retry/idle"+repeatSuffix(rep))
 		var p units.Power
-		retries, err := faults.Retry(rc.Backoff, rc.Sleep, rng, func() error {
-			var merr error
-			p, merr = s.MeasureIdle(1)
-			return merr
-		})
+		retries, err := faults.RetryNotify(rc.Backoff, rc.Sleep, rng,
+			func(attempt int, delay time.Duration, rerr error) {
+				span.Event("fault.retry", obs.String("kernel", "idle"), obs.Int("attempt", attempt),
+					obs.Float("delay_s", delay.Seconds()), obs.String("error", rerr.Error()))
+			},
+			func() error {
+				var merr error
+				p, merr = s.MeasureIdleContext(ctx, 1)
+				return merr
+			})
 		rs.Retries += retries
 		if err != nil {
+			span.Event("repeat.lost", obs.String("kernel", "idle"), obs.String("error", err.Error()))
 			lastErr = err
 			continue
 		}

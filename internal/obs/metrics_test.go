@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRenderExposition(t *testing.T) {
+	reg := NewRegistry()
+	reqs := reg.Counter("requests_total", "finished requests", "endpoint", "status")
+	reqs.With("/a", "200").Add(3)
+	reqs.With("/a", "500").Inc()
+	reqs.With("/b", "200").Inc()
+	g := reg.Gauge("in_flight", "current requests").With()
+	g.Set(2)
+	h := reg.Histogram("latency_seconds", "request latency", []float64{0.1, 1}, "endpoint")
+	h.With("/a").Observe(0.05)
+	h.With("/a").Observe(0.5)
+	h.With("/a").Observe(5)
+	reg.Collect("uptime_seconds", "seconds up", "gauge", nil,
+		func(emit func([]string, float64)) { emit(nil, 12.5) })
+	reg.Collect("empty_family", "never emits", "gauge", nil,
+		func(emit func([]string, float64)) {})
+
+	want := strings.Join([]string{
+		`# HELP in_flight current requests`,
+		`# TYPE in_flight gauge`,
+		`in_flight 2`,
+		`# HELP latency_seconds request latency`,
+		`# TYPE latency_seconds histogram`,
+		`latency_seconds_bucket{endpoint="/a",le="0.1"} 1`,
+		`latency_seconds_bucket{endpoint="/a",le="1"} 2`,
+		`latency_seconds_bucket{endpoint="/a",le="+Inf"} 3`,
+		`latency_seconds_sum{endpoint="/a"} 5.55`,
+		`latency_seconds_count{endpoint="/a"} 3`,
+		`# HELP requests_total finished requests`,
+		`# TYPE requests_total counter`,
+		`requests_total{endpoint="/a",status="200"} 3`,
+		`requests_total{endpoint="/a",status="500"} 1`,
+		`requests_total{endpoint="/b",status="200"} 1`,
+		`# HELP uptime_seconds seconds up`,
+		`# TYPE uptime_seconds gauge`,
+		`uptime_seconds 12.5`,
+	}, "\n") + "\n"
+	got := reg.Render()
+	if got != want {
+		t.Errorf("exposition mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if again := reg.Render(); again != got {
+		t.Error("two renders of the same state differ")
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "test counter").With()
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // negative deltas are ignored: counters are monotone
+	if v := c.Value(); v != 3.5 {
+		t.Errorf("counter = %v, want 3.5", v)
+	}
+	vec := reg.Counter("v_total", "labelled", "k")
+	vec.With("a").Add(1)
+	vec.With("b").Add(2)
+	if s := vec.Sum(); s != 3 {
+		t.Errorf("Sum = %v, want 3", s)
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	g := NewRegistry().Gauge("g", "test gauge").With()
+	g.Set(10)
+	g.Add(-3)
+	if v := g.Value(); v != 7 {
+		t.Errorf("gauge = %v, want 7", v)
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate family registration must panic")
+		}
+	}()
+	reg.Gauge("dup", "second")
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	vec := NewRegistry().Counter("labelled", "two labels", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity must panic")
+		}
+	}()
+	vec.With("only-one")
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		3:      "3",
+		-2:     "-2",
+		2.5:    "2.5",
+		0.0001: "0.0001",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

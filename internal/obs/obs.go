@@ -1,0 +1,33 @@
+// Package obs is archline's stdlib-only observability layer: the
+// tracing, structured logging, and metrics plumbing that makes the
+// measure→fit→serve pipeline's self-healing visible. The measurement
+// literature the repo reproduces argues that an energy study is only as
+// trustworthy as the telemetry around it; the same holds for the
+// service layer — retries, discarded repeats, Huber re-fits, breaker
+// trips, and chaos injections must be observable, not inferred from
+// final return values.
+//
+// Three facilities, all built on the standard library alone:
+//
+//   - Spans (trace.go): context-propagated spans with attributes and
+//     timed events. A Tracer exports every ended span as one NDJSON
+//     line, so a whole run becomes a greppable span tree. With no
+//     Tracer on the context, Start returns a nil *Span whose methods
+//     are all no-ops — instrumented code pays nothing when tracing is
+//     off and never nil-checks.
+//
+//   - Logs (log.go): log/slog JSON logging through a context-aware
+//     handler that stamps every record with the request ID and the
+//     active span's identifiers, tying log lines to traces.
+//
+//   - Metrics (metrics.go): a registry of counters, gauges, and
+//     histograms rendered as a Prometheus-style text exposition with
+//     # HELP / # TYPE headers, plus render-time Collect families for
+//     derived values (uptime, quantiles, breaker state).
+//
+// The canonical span idiom, enforced repo-wide by the archlint
+// spanclose analyzer:
+//
+//	ctx, span := obs.Start(ctx, "sim.measure", obs.String("kernel", k.Name))
+//	defer span.End()
+package obs

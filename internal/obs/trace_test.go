@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stepClock returns a deterministic clock advancing step per call.
+func stepClock(step time.Duration) func() time.Time {
+	t := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return func() time.Time {
+		cur := t
+		t = t.Add(step)
+		return cur
+	}
+}
+
+// parseLines decodes every NDJSON line in buf.
+func parseLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var recs []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		recs = append(recs, m)
+	}
+	return recs
+}
+
+func TestSpanTreeExport(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetClock(stepClock(time.Millisecond))
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "suite", String("platform", "gtx-titan"))
+	cctx, child := Start(ctx, "kernel", Int("rep", 2))
+	child.Event("fault.retry", Int("attempt", 1), String("error", "meter disconnect"))
+	child.SetAttr(Bool("kept", true))
+	child.End()
+	root.End()
+
+	if got := SpanFrom(cctx); got != child {
+		t.Fatalf("SpanFrom(child ctx) = %v, want child span", got)
+	}
+	recs := parseLines(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("want 2 span lines (child first), got %d", len(recs))
+	}
+	c, r := recs[0], recs[1]
+	if c["name"] != "kernel" || r["name"] != "suite" {
+		t.Fatalf("names = %v, %v", c["name"], r["name"])
+	}
+	if c["trace"] != r["trace"] {
+		t.Errorf("child trace %v != root trace %v", c["trace"], r["trace"])
+	}
+	if c["parent"] != r["span"] {
+		t.Errorf("child parent %v != root span %v", c["parent"], r["span"])
+	}
+	if _, hasParent := r["parent"]; hasParent {
+		t.Error("root span should omit parent")
+	}
+	attrs := c["attrs"].(map[string]any)
+	if attrs["rep"] != float64(2) || attrs["kept"] != true {
+		t.Errorf("child attrs = %v", attrs)
+	}
+	events := c["events"].([]any)
+	ev := events[0].(map[string]any)
+	if ev["name"] != "fault.retry" {
+		t.Errorf("event = %v", ev)
+	}
+	evAttrs := ev["attrs"].(map[string]any)
+	if evAttrs["attempt"] != float64(1) || evAttrs["error"] != "meter disconnect" {
+		t.Errorf("event attrs = %v", evAttrs)
+	}
+	if c["dur_ms"].(float64) < 0 || r["dur_ms"].(float64) <= 0 {
+		t.Errorf("durations: child %v, root %v", c["dur_ms"], r["dur_ms"])
+	}
+	st := tr.Stats()
+	if st.Started != 2 || st.Ended != 2 || st.Events != 1 || st.WriteErrors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRootTraceAdoptsRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	ctx := WithRequestID(WithTracer(context.Background(), tr), "req-abc123")
+	_, span := Start(ctx, "http./v1/query")
+	if span.TraceID() != "req-abc123" {
+		t.Fatalf("trace = %q, want request ID", span.TraceID())
+	}
+	span.End()
+	if got := parseLines(t, &buf)[0]["trace"]; got != "req-abc123" {
+		t.Errorf("exported trace = %v", got)
+	}
+}
+
+func TestNilSpanIsInert(t *testing.T) {
+	ctx, span := Start(context.Background(), "no.tracer")
+	if span != nil {
+		t.Fatal("Start without tracer must return a nil span")
+	}
+	if SpanFrom(ctx) != nil || TracerFrom(ctx) != nil {
+		t.Error("bare context must carry no span or tracer")
+	}
+	// Every method must be a safe no-op on nil.
+	span.SetAttr(String("k", "v"))
+	span.Event("e")
+	span.End()
+	if span.TraceID() != "" || span.ID() != 0 {
+		t.Error("nil span identity should be zero")
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	_, span := Start(WithTracer(context.Background(), tr), "once")
+	span.End()
+	span.End()
+	span.SetAttr(String("late", "ignored"))
+	span.Event("late.event")
+	if n := len(parseLines(t, &buf)); n != 1 {
+		t.Fatalf("want exactly 1 exported line, got %d", n)
+	}
+	st := tr.Stats()
+	if st.Ended != 1 || st.Events != 0 {
+		t.Errorf("stats after double End = %+v", st)
+	}
+}
+
+// errWriter fails every write.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriteErrorsCounted(t *testing.T) {
+	tr := NewTracer(errWriter{})
+	_, span := Start(WithTracer(context.Background(), tr), "doomed")
+	span.End()
+	if st := tr.Stats(); st.WriteErrors != 1 {
+		t.Errorf("WriteErrors = %d, want 1", st.WriteErrors)
+	}
+}
+
+func TestDeterministicExport(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		tr.SetClock(stepClock(time.Millisecond))
+		ctx := WithTracer(context.Background(), tr)
+		ctx, root := Start(ctx, "a", Float("x", 1.5))
+		_, child := Start(ctx, "b")
+		child.Event("ev", Int("n", 3))
+		child.End()
+		root.End()
+		return buf.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("identical runs exported different bytes:\n%s\nvs\n%s", a, b)
+	}
+}

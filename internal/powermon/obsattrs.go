@@ -1,0 +1,15 @@
+package powermon
+
+import "archline/internal/obs"
+
+// SpanAttrs renders the quality report as span attributes, so sanitize
+// spans in a trace carry the same flags the quality table prints.
+func (q Quality) SpanAttrs() []obs.Attr {
+	return []obs.Attr{
+		obs.String("grade", q.Grade.String()),
+		obs.Int("gaps_filled", q.GapsFilled),
+		obs.Int("spikes_removed", q.SpikesRemoved),
+		obs.Int("stuck_repaired", q.StuckRepaired),
+		obs.Float("repaired_frac", q.RepairedFrac),
+	}
+}

@@ -1,15 +1,15 @@
 package server
 
 import (
-	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"archline/internal/obs"
 	"archline/internal/stats"
 )
 
@@ -17,35 +17,45 @@ import (
 // keeps for quantile estimation.
 const latWindowSize = 1024
 
-// Metrics is the daemon's stdlib-only metrics registry: request counts
-// by endpoint and status, latency quantiles over a sliding window
-// (computed with internal/stats, the same quantile machinery as the
-// paper's boxplots), cache hit ratio, model-evaluation count, and an
-// in-flight gauge. Render emits a Prometheus-style text exposition.
+// Metrics is the daemon's metrics surface, built on the shared
+// obs.Registry: request counts by endpoint and status, latency
+// histograms and sliding-window quantiles (computed with
+// internal/stats, the same quantile machinery as the paper's boxplots),
+// cache hit ratio, model-evaluation count, in-flight gauge, resilience
+// counters, and the obs layer's own self-metrics. Render emits a
+// Prometheus-style text exposition with # HELP / # TYPE headers. The
+// clock is injectable so the uptime line is deterministic under test.
 type Metrics struct {
 	start time.Time
+	now   func() time.Time
+
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	duration *obs.HistogramVec
+
+	cacheHits   obs.Counter
+	cacheMisses obs.Counter
+	modelEvals  obs.Counter
+	shed        obs.Counter
+	chaos       obs.Counter
+	inFlight    obs.Gauge
 
 	mu        sync.Mutex
-	requests  map[string]map[int]int64 // endpoint -> status -> count
-	latencies map[string]*latWindow    // endpoint -> recent seconds
-
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	modelEvals  atomic.Int64
-	inFlight    atomic.Int64
-	shed        atomic.Int64
-	chaos       atomic.Int64
+	latencies map[string]*latWindow // endpoint -> recent seconds
 
 	// breakerProbe, when set, reports the circuit breaker's state and
 	// open count for the exposition.
 	breakerProbe func() (breakerState, int64)
+	// tracerProbe, when set, reports the span tracer's self-counters.
+	tracerProbe func() obs.TracerStats
+	// logProbe, when set, reports the structured-log record count.
+	logProbe func() int64
 }
 
 // latWindow is a fixed ring of recent latency samples in seconds.
 type latWindow struct {
 	buf  []float64
 	next int
-	full bool
 }
 
 func (w *latWindow) add(seconds float64) {
@@ -55,7 +65,6 @@ func (w *latWindow) add(seconds float64) {
 	}
 	w.buf[w.next] = seconds
 	w.next = (w.next + 1) % latWindowSize
-	w.full = true
 }
 
 // samples returns a copy of the window's contents.
@@ -63,138 +72,184 @@ func (w *latWindow) samples() []float64 {
 	return append([]float64(nil), w.buf...)
 }
 
-// NewMetrics builds an empty registry.
-func NewMetrics() *Metrics {
-	return &Metrics{
-		start:     time.Now(),
-		requests:  map[string]map[int]int64{},
+// latQuantiles are the exposed latency quantiles.
+var latQuantiles = []float64{0.5, 0.9, 0.99}
+
+// NewMetrics builds an empty registry on the wall clock.
+func NewMetrics() *Metrics { return newMetrics(time.Now) }
+
+// newMetrics builds the registry on an injectable clock, registering
+// every family the daemon exposes.
+func newMetrics(now func() time.Time) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		start:     now(),
+		now:       now,
+		reg:       reg,
 		latencies: map[string]*latWindow{},
 	}
+	m.requests = reg.Counter("archlined_requests_total",
+		"finished requests by route pattern and HTTP status", "endpoint", "status")
+	m.duration = reg.Histogram("archlined_request_duration_seconds",
+		"request latency distribution by route pattern", obs.DefBuckets, "endpoint")
+	m.cacheHits = reg.Counter("archlined_cache_hits_total", "response cache hits").With()
+	m.cacheMisses = reg.Counter("archlined_cache_misses_total", "response cache misses").With()
+	m.modelEvals = reg.Counter("archlined_model_evals_total",
+		"cache-missed model evaluations").With()
+	m.shed = reg.Counter("archlined_shed_total", "requests refused by load shedding").With()
+	m.chaos = reg.Counter("archlined_chaos_injected_total",
+		"chaos-injected synthetic failures").With()
+	m.inFlight = reg.Gauge("archlined_in_flight_requests",
+		"requests currently being served").With()
+
+	reg.Collect("archlined_uptime_seconds", "seconds since the daemon started", "gauge", nil,
+		func(emit func([]string, float64)) {
+			emit(nil, math.Round(m.now().Sub(m.start).Seconds()*1000)/1000)
+		})
+	reg.Collect("archlined_cache_hit_ratio", "cache hits over cache lookups", "gauge", nil,
+		func(emit func([]string, float64)) {
+			hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
+			ratio := 0.0
+			if hits+misses > 0 {
+				ratio = hits / (hits + misses)
+			}
+			emit(nil, math.Round(ratio*1e4)/1e4)
+		})
+	reg.Collect("archlined_request_latency_seconds",
+		"latency quantiles over a sliding sample window", "summary",
+		[]string{"endpoint", "quantile"}, func(emit func([]string, float64)) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			for _, e := range m.latencyEndpoints() {
+				samples := m.latencies[e].samples()
+				for _, q := range latQuantiles {
+					emit([]string{e, strconv.FormatFloat(q, 'g', -1, 64)},
+						stats.Quantile(samples, q))
+				}
+			}
+		})
+	reg.Collect("archlined_request_latency_samples",
+		"sliding-window population behind the latency quantiles", "gauge",
+		[]string{"endpoint"}, func(emit func([]string, float64)) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			for _, e := range m.latencyEndpoints() {
+				emit([]string{e}, float64(len(m.latencies[e].buf)))
+			}
+		})
+	reg.Collect("archlined_breaker_state",
+		"circuit breaker state (0 closed, 1 half-open, 2 open)", "gauge", nil,
+		func(emit func([]string, float64)) {
+			if m.breakerProbe != nil {
+				state, _ := m.breakerProbe()
+				emit(nil, float64(state))
+			}
+		})
+	reg.Collect("archlined_breaker_opens_total",
+		"times the circuit breaker has opened", "counter", nil,
+		func(emit func([]string, float64)) {
+			if m.breakerProbe != nil {
+				_, opens := m.breakerProbe()
+				emit(nil, float64(opens))
+			}
+		})
+	reg.Collect("obs_spans_started_total", "spans started by the tracer", "counter", nil,
+		func(emit func([]string, float64)) {
+			if m.tracerProbe != nil {
+				emit(nil, float64(m.tracerProbe().Started))
+			}
+		})
+	reg.Collect("obs_spans_ended_total", "spans ended and exported by the tracer", "counter", nil,
+		func(emit func([]string, float64)) {
+			if m.tracerProbe != nil {
+				emit(nil, float64(m.tracerProbe().Ended))
+			}
+		})
+	reg.Collect("obs_span_events_total", "events recorded on spans", "counter", nil,
+		func(emit func([]string, float64)) {
+			if m.tracerProbe != nil {
+				emit(nil, float64(m.tracerProbe().Events))
+			}
+		})
+	reg.Collect("obs_log_records_total", "structured log records emitted", "counter", nil,
+		func(emit func([]string, float64)) {
+			if m.logProbe != nil {
+				emit(nil, float64(m.logProbe()))
+			}
+		})
+	return m
+}
+
+// latencyEndpoints returns the latency-window keys sorted; the caller
+// holds m.mu.
+func (m *Metrics) latencyEndpoints() []string {
+	eps := make([]string, 0, len(m.latencies))
+	for e := range m.latencies {
+		eps = append(eps, e)
+	}
+	sort.Strings(eps)
+	return eps
 }
 
 // noteRequest records one finished request.
 func (m *Metrics) noteRequest(endpoint string, status int, d time.Duration) {
+	secs := d.Seconds()
+	m.requests.With(endpoint, strconv.Itoa(status)).Inc()
+	m.duration.With(endpoint).Observe(secs)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	byStatus, ok := m.requests[endpoint]
-	if !ok {
-		byStatus = map[int]int64{}
-		m.requests[endpoint] = byStatus
-	}
-	byStatus[status]++
 	w, ok := m.latencies[endpoint]
 	if !ok {
 		w = &latWindow{}
 		m.latencies[endpoint] = w
 	}
-	w.add(d.Seconds())
+	w.add(secs)
 }
 
 // noteCache records one cache lookup outcome.
 func (m *Metrics) noteCache(hit bool) {
 	if hit {
-		m.cacheHits.Add(1)
+		m.cacheHits.Inc()
 		return
 	}
-	m.cacheMisses.Add(1)
+	m.cacheMisses.Inc()
 }
 
 // noteEval records one model evaluation (a cache-missed compute).
-func (m *Metrics) noteEval() { m.modelEvals.Add(1) }
+func (m *Metrics) noteEval() { m.modelEvals.Inc() }
 
 // noteInFlight adjusts the in-flight request gauge.
-func (m *Metrics) noteInFlight(delta int64) { m.inFlight.Add(delta) }
+func (m *Metrics) noteInFlight(delta int64) { m.inFlight.Add(float64(delta)) }
 
 // noteShed records one load-shed request.
-func (m *Metrics) noteShed() { m.shed.Add(1) }
+func (m *Metrics) noteShed() { m.shed.Inc() }
 
 // noteChaos records one chaos-injected failure.
-func (m *Metrics) noteChaos() { m.chaos.Add(1) }
+func (m *Metrics) noteChaos() { m.chaos.Inc() }
+
+// InFlight reports the current in-flight request count.
+func (m *Metrics) InFlight() int64 { return int64(m.inFlight.Value()) }
 
 // Shed reports the total load-shed requests so far.
-func (m *Metrics) Shed() int64 { return m.shed.Load() }
+func (m *Metrics) Shed() int64 { return int64(m.shed.Value()) }
 
 // ChaosInjected reports the total chaos-injected failures so far.
-func (m *Metrics) ChaosInjected() int64 { return m.chaos.Load() }
+func (m *Metrics) ChaosInjected() int64 { return int64(m.chaos.Value()) }
 
 // ModelEvals reports the total model evaluations so far.
-func (m *Metrics) ModelEvals() int64 { return m.modelEvals.Load() }
+func (m *Metrics) ModelEvals() int64 { return int64(m.modelEvals.Value()) }
 
 // CacheHits reports the total cache hits so far.
-func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
+func (m *Metrics) CacheHits() int64 { return int64(m.cacheHits.Value()) }
 
 // Requests reports the total finished requests across all endpoints.
-func (m *Metrics) Requests() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var total int64
-	for _, byStatus := range m.requests {
-		for _, n := range byStatus {
-			total += n
-		}
-	}
-	return total
-}
+func (m *Metrics) Requests() int64 { return int64(m.requests.Sum()) }
 
-// latQuantiles are the exposed latency quantiles.
-var latQuantiles = []float64{0.5, 0.9, 0.99}
-
-// Render emits the text exposition. Map iterations are key-sorted so two
-// renders of the same state are byte-identical.
+// Render emits the text exposition. Families and series are key-sorted
+// and the clock is injectable, so two renders of the same state are
+// byte-identical.
 func (m *Metrics) Render() string {
-	var b strings.Builder
-	b.WriteString("# archlined metrics\n")
-	fmt.Fprintf(&b, "archlined_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
-
-	m.mu.Lock()
-	endpoints := make([]string, 0, len(m.requests))
-	for e := range m.requests {
-		endpoints = append(endpoints, e)
-	}
-	sort.Strings(endpoints)
-	for _, e := range endpoints {
-		byStatus := m.requests[e]
-		statuses := make([]int, 0, len(byStatus))
-		for s := range byStatus {
-			statuses = append(statuses, s)
-		}
-		sort.Ints(statuses)
-		for _, s := range statuses {
-			fmt.Fprintf(&b, "archlined_requests_total{endpoint=%q,status=\"%d\"} %d\n", e, s, byStatus[s])
-		}
-	}
-	latEndpoints := make([]string, 0, len(m.latencies))
-	for e := range m.latencies {
-		latEndpoints = append(latEndpoints, e)
-	}
-	sort.Strings(latEndpoints)
-	for _, e := range latEndpoints {
-		samples := m.latencies[e].samples()
-		for _, q := range latQuantiles {
-			fmt.Fprintf(&b, "archlined_request_latency_seconds{endpoint=%q,quantile=\"%g\"} %.6g\n",
-				e, q, stats.Quantile(samples, q))
-		}
-	}
-	m.mu.Unlock()
-
-	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
-	fmt.Fprintf(&b, "archlined_cache_hits_total %d\n", hits)
-	fmt.Fprintf(&b, "archlined_cache_misses_total %d\n", misses)
-	ratio := 0.0
-	if hits+misses > 0 {
-		ratio = float64(hits) / float64(hits+misses)
-	}
-	fmt.Fprintf(&b, "archlined_cache_hit_ratio %.4f\n", ratio)
-	fmt.Fprintf(&b, "archlined_model_evals_total %d\n", m.modelEvals.Load())
-	fmt.Fprintf(&b, "archlined_in_flight_requests %d\n", m.inFlight.Load())
-	fmt.Fprintf(&b, "archlined_shed_total %d\n", m.shed.Load())
-	fmt.Fprintf(&b, "archlined_chaos_injected_total %d\n", m.chaos.Load())
-	if m.breakerProbe != nil {
-		state, opens := m.breakerProbe()
-		fmt.Fprintf(&b, "archlined_breaker_state %d\n", int(state))
-		fmt.Fprintf(&b, "archlined_breaker_opens_total %d\n", opens)
-	}
-	return b.String()
+	return "# archlined metrics\n" + m.reg.Render()
 }
 
 // healthResponse is the /healthz body.

@@ -2,11 +2,17 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"sync/atomic"
 	"time"
+
+	"archline/internal/obs"
 )
 
 // handlerFunc is the internal handler shape: return a value to encode as
@@ -88,41 +94,99 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
+// requestIDHeader is the header archlined reads a caller-supplied
+// request ID from and echoes the effective ID back on.
+const requestIDHeader = "X-Request-Id"
+
+// reqSeq backs the fallback request-ID generator.
+var reqSeq atomic.Uint64
+
+// newRequestID mints a 16-hex-char request ID, falling back to a
+// process-local sequence if the system entropy source fails.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		return hex.EncodeToString(b[:])
+	}
+	return fmt.Sprintf("req-%d", reqSeq.Add(1))
+}
+
 // serveInstrumented runs one handler under the full middleware stack:
-// in-flight accounting, latency/status metrics labelled by the route
-// pattern, method enforcement, request body limits, a context deadline,
-// and panic containment.
+// request-ID propagation, span + structured access log, in-flight
+// accounting, latency/status metrics labelled by the route pattern,
+// method enforcement, request body limits, a context deadline, and
+// panic containment.
 func (s *Server) serveInstrumented(pattern, method string, h handlerFunc, w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.metrics.noteInFlight(1)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+	// Request identity: adopt the caller's X-Request-Id (or mint one)
+	// and echo it on the response, so one ID ties together the client's
+	// records, the access log, and the span tree.
+	reqID := r.Header.Get(requestIDHeader)
+	if reqID == "" {
+		reqID = newRequestID()
+	}
+	rec.Header().Set(requestIDHeader, reqID)
+	ctx := obs.WithRequestID(r.Context(), reqID)
+	if s.tracer != nil {
+		ctx = obs.WithTracer(ctx, s.tracer)
+	}
+	ctx, span := obs.Start(ctx, "http."+pattern,
+		obs.String("method", r.Method), obs.String("request_id", reqID))
+	defer span.End()
+	r = r.WithContext(ctx)
+
+	// Registered after span.End (LIFO), so the final status lands on the
+	// span before it exports, after the recover below rewrites it.
 	defer func() {
 		s.metrics.noteInFlight(-1)
-		s.metrics.noteRequest(pattern, rec.status, time.Since(start))
+		d := time.Since(start)
+		s.metrics.noteRequest(pattern, rec.status, d)
+		span.SetAttr(obs.Int("status", rec.status))
+		s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("endpoint", pattern), slog.String("method", r.Method),
+			slog.Int("status", rec.status), slog.Float64("dur_s", d.Seconds()))
 	}()
 
 	// Resilience gates for /v1 routes (liveness and metrics stay open):
 	// shed past the in-flight ceiling, fail fast while the breaker is
 	// open, and feed every admitted request's outcome back into it.
 	if !isShedExempt(pattern) {
-		if s.cfg.MaxInFlight > 0 && s.metrics.inFlight.Load() > int64(s.cfg.MaxInFlight) {
+		if s.cfg.MaxInFlight > 0 && s.metrics.InFlight() > int64(s.cfg.MaxInFlight) {
 			s.metrics.noteShed()
+			span.Event("shed", obs.Int("max_in_flight", s.cfg.MaxInFlight))
+			s.log.LogAttrs(ctx, slog.LevelWarn, "load shed",
+				slog.String("endpoint", pattern), slog.Int("max_in_flight", s.cfg.MaxInFlight))
 			rec.Header().Set("Retry-After", retryAfterHeader(time.Second))
 			writeError(rec, errShed())
 			return
 		}
 		ok, retry := s.breaker.allow()
 		if !ok {
+			span.Event("breaker.reject", obs.Float("retry_after_s", retry.Seconds()))
+			s.log.LogAttrs(ctx, slog.LevelWarn, "breaker reject",
+				slog.String("endpoint", pattern))
 			rec.Header().Set("Retry-After", retryAfterHeader(retry))
 			writeError(rec, errBreakerOpen())
 			return
 		}
 		// Registered before the panic recover below, so the recover
 		// (LIFO) rewrites rec.status first and the breaker sees the 500.
-		defer func() { s.breaker.record(rec.status >= http.StatusInternalServerError) }()
+		defer func() {
+			if s.breaker.record(rec.status >= http.StatusInternalServerError) {
+				span.Event("breaker.open")
+				s.log.LogAttrs(ctx, slog.LevelWarn, "circuit breaker opened",
+					slog.String("endpoint", pattern))
+			}
+		}()
 	}
 	defer func() {
 		if p := recover(); p != nil {
+			span.Event("panic", obs.String("value", fmt.Sprint(p)))
+			s.log.LogAttrs(ctx, slog.LevelError, "handler panic",
+				slog.String("endpoint", pattern), slog.String("panic", fmt.Sprint(p)))
 			writeError(rec, errInternal("handler panic: %v", p))
 		}
 	}()
@@ -132,8 +196,15 @@ func (s *Server) serveInstrumented(pattern, method string, h handlerFunc, w http
 		return
 	}
 	if !isShedExempt(pattern) {
-		if aerr := s.chaos.intercept(); aerr != nil {
+		aerr, slowed := s.chaos.intercept()
+		if slowed {
+			span.Event("chaos.slow")
+		}
+		if aerr != nil {
 			s.metrics.noteChaos()
+			span.Event("chaos.fail")
+			s.log.LogAttrs(ctx, slog.LevelWarn, "chaos injected failure",
+				slog.String("endpoint", pattern))
 			writeError(rec, aerr)
 			return
 		}
@@ -141,7 +212,7 @@ func (s *Server) serveInstrumented(pattern, method string, h handlerFunc, w http
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	r = r.WithContext(ctx)
 

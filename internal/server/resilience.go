@@ -159,8 +159,10 @@ func (b *circuitBreaker) allow() (ok bool, retryAfter time.Duration) {
 	}
 }
 
-// record feeds one finished /v1 request's outcome back into the breaker.
-func (b *circuitBreaker) record(serverFailure bool) {
+// record feeds one finished /v1 request's outcome back into the
+// breaker. It reports whether this outcome transitioned the breaker to
+// open, so the caller can narrate the event.
+func (b *circuitBreaker) record(serverFailure bool) (opened bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	now := b.now()
@@ -171,16 +173,16 @@ func (b *circuitBreaker) record(serverFailure bool) {
 			b.state = breakerOpen
 			b.openedAt = now
 			b.opens++
-			return
+			return true
 		}
 		// Recovery confirmed: close and start a clean window.
 		b.state = breakerClosed
 		b.windowStart = now
 		b.successes, b.failures = 0, 0
-		return
+		return false
 	}
 	if b.state == breakerOpen {
-		return // rejected traffic never reaches here; stray results ignored
+		return false // rejected traffic never reaches here; stray results ignored
 	}
 	if b.windowStart.IsZero() || now.Sub(b.windowStart) > b.window {
 		b.windowStart = now
@@ -196,7 +198,9 @@ func (b *circuitBreaker) record(serverFailure bool) {
 		b.state = breakerOpen
 		b.openedAt = now
 		b.opens++
+		return true
 	}
+	return false
 }
 
 // snapshot returns the state and open count for metrics.
@@ -246,22 +250,24 @@ func newChaosInjector(profile string, seed uint64, sleep func(time.Duration)) (*
 }
 
 // intercept decides the fate of one /v1 request: a synthetic failure
-// (returned as an apiError), a latency spike (slept here), or nothing.
-func (c *chaosInjector) intercept() *apiError {
+// (returned as an apiError), a latency spike (slept here, reported via
+// slowed), or nothing.
+func (c *chaosInjector) intercept() (aerr *apiError, slowed bool) {
 	if c == nil {
-		return nil
+		return nil, false
 	}
 	c.mu.Lock()
 	fail := c.rng.Float64() < c.errRate
 	slow := c.rng.Float64() < c.slowRate
 	c.mu.Unlock()
 	if fail {
-		return errChaos()
+		return errChaos(), false
 	}
 	if slow {
 		c.sleep(c.slowDelay)
+		return nil, true
 	}
-	return nil
+	return nil, false
 }
 
 // retryAfterHeader formats a Retry-After value: whole seconds, rounded

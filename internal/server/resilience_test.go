@@ -245,7 +245,8 @@ func TestChaosInjectorDeterministic(t *testing.T) {
 		}
 		var fates []bool
 		for i := 0; i < 200; i++ {
-			fates = append(fates, c.intercept() != nil)
+			aerr, _ := c.intercept()
+			fates = append(fates, aerr != nil)
 		}
 		return fates
 	}

@@ -26,9 +26,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
+
+	"archline/internal/obs"
 )
 
 // Config tunes the daemon.
@@ -63,6 +67,17 @@ type Config struct {
 	ChaosProfile string
 	// ChaosSeed seeds the chaos draws for reproducible chaos runs.
 	ChaosSeed uint64
+	// TraceWriter, when non-nil, receives every finished span as one
+	// NDJSON line (the archlined -trace-log flag). Nil disables tracing.
+	TraceWriter io.Writer
+	// LogWriter, when non-nil, receives structured JSON log records
+	// (slog). Nil silences the structured log; the plain-text startup
+	// announcements on stdout/stderr are unaffected.
+	LogWriter io.Writer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints are a diagnostic surface, not part of
+	// the public API.
+	EnablePprof bool
 }
 
 // Defaults for zero Config fields.
@@ -107,6 +122,8 @@ type Server struct {
 	metrics *Metrics
 	breaker *circuitBreaker
 	chaos   *chaosInjector
+	tracer  *obs.Tracer // nil unless Config.TraceWriter is set
+	log     *slog.Logger
 	// initErr holds a construction failure (e.g. an unknown chaos
 	// profile); Run surfaces it before listening.
 	initErr error
@@ -131,6 +148,15 @@ func New(cfg Config) *Server {
 	}
 	s.chaos, s.initErr = newChaosInjector(cfg.ChaosProfile, cfg.ChaosSeed, nil)
 	s.metrics.breakerProbe = s.breaker.snapshot
+	if cfg.TraceWriter != nil {
+		s.tracer = obs.NewTracer(cfg.TraceWriter)
+		s.metrics.tracerProbe = s.tracer.Stats
+	}
+	if cfg.LogWriter != nil {
+		s.log, s.metrics.logProbe = obs.NewCountedLogger(cfg.LogWriter)
+	} else {
+		s.log = obs.NopLogger()
+	}
 	s.handle("GET", "/healthz", s.handleHealthz)
 	s.handle("GET", "/metrics", s.handleMetrics)
 	s.handle("GET", "/v1/platforms", s.handlePlatforms)
@@ -138,6 +164,16 @@ func New(cfg Config) *Server {
 	s.handle("POST", "/v1/query", s.handleQuery)
 	s.handle("POST", "/v1/compare", s.handleCompare)
 	s.handle("POST", "/v1/whatif", s.handleWhatIf)
+	if cfg.EnablePprof {
+		// Mounted raw (no serveInstrumented): pprof handlers stream for
+		// seconds and must not count against the request timeout, the
+		// shed ceiling, or the latency metrics.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
 }
@@ -228,6 +264,9 @@ func (s *Server) Run(ctx context.Context, stdout, stderr io.Writer) error {
 		_, _ = fmt.Fprintf(stdout, "archlined: CHAOS MODE enabled (profile %s, seed %d)\n",
 			s.cfg.ChaosProfile, s.cfg.ChaosSeed)
 	}
+	s.log.LogAttrs(ctx, slog.LevelInfo, "listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Bool("chaos", s.chaos != nil), slog.Bool("pprof", s.cfg.EnablePprof))
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -238,6 +277,8 @@ func (s *Server) Run(ctx context.Context, stdout, stderr io.Writer) error {
 	_, _ = fmt.Fprintln(stderr, "archlined: shutdown requested, draining in-flight requests")
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
+	s.log.LogAttrs(dctx, slog.LevelInfo, "draining",
+		slog.Float64("timeout_s", s.cfg.DrainTimeout.Seconds()))
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("server: drain: %w", err)
 	}
@@ -245,6 +286,7 @@ func (s *Server) Run(ctx context.Context, stdout, stderr io.Writer) error {
 		return fmt.Errorf("server: serve: %w", err)
 	}
 	_, _ = fmt.Fprintln(stderr, "archlined: drained, bye")
+	s.log.LogAttrs(dctx, slog.LevelInfo, "drained")
 	return nil
 }
 

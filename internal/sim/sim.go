@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -29,6 +30,7 @@ import (
 	"archline/internal/faults"
 	"archline/internal/machine"
 	"archline/internal/model"
+	"archline/internal/obs"
 	"archline/internal/powermon"
 	"archline/internal/stats"
 	"archline/internal/units"
@@ -500,17 +502,32 @@ func (s *Simulator) noiseStream(label string) *stats.Stream {
 // Measure runs the kernel and records it with the platform's power meter,
 // returning the lab-bench measurement tuple. With a fault injector
 // configured it may return a transient error (powermon.IsTransient) the
-// caller can retry.
+// caller can retry. Measure is MeasureContext without tracing.
 func (s *Simulator) Measure(k Kernel) (Measurement, error) {
+	return s.MeasureContext(context.Background(), k)
+}
+
+// MeasureContext is Measure under a span: with a tracer on ctx it opens
+// a sim.measure span recording the kernel, any throttle window or meter
+// error as events, and the sanitize pass as a child span carrying the
+// quality flags. Without a tracer it costs nothing.
+func (s *Simulator) MeasureContext(ctx context.Context, k Kernel) (Measurement, error) {
+	ctx, span := obs.Start(ctx, "sim.measure",
+		obs.String("platform", string(s.plat.ID)), obs.String("kernel", k.Name))
+	defer span.End()
 	res, err := s.Run(k)
 	if err != nil {
+		span.Event("run.error", obs.String("error", err.Error()))
 		return Measurement{}, err
 	}
+	span.SetAttr(obs.String("level", res.Level.String()))
 	label := string(s.plat.ID) + "/" + k.Name
 	sig, dur := res.Signal, res.TrueTime
 	if w, hit := s.opts.Faults.ThrottleEvent(label, dur.Seconds()); hit {
 		// Thermal throttle: the run stretches to conserve work while the
 		// dynamic power inside the window drops by the throttle factor.
+		span.Event("fault.throttle", obs.Float("factor", w.Factor),
+			obs.Float("start_s", w.Start), obs.Float("dur_s", w.Dur))
 		sig = throttledSignal(sig, s.plat.Single.Pi1.Watts(), w)
 		dur = units.Time(w.Total)
 	}
@@ -520,11 +537,21 @@ func (s *Simulator) Measure(k Kernel) (Measurement, error) {
 	}
 	trace, err := s.opts.Faults.Record(s.meter, sig, dur, rng, label)
 	if err != nil {
+		span.Event("meter.error", obs.String("error", err.Error()),
+			obs.Bool("transient", powermon.IsTransient(err)))
 		return Measurement{}, err
 	}
 	var qual powermon.Quality
 	if s.opts.Sanitize && !s.opts.Noiseless {
-		qual = trace.Sanitize()
+		// The sanitize pass gets its own child span so its share of the
+		// measurement shows up in the trace; the closure scopes the defer
+		// to exactly the pass.
+		func() {
+			_, ssp := obs.Start(ctx, "powermon.sanitize", obs.String("kernel", k.Name))
+			defer ssp.End()
+			qual = trace.Sanitize()
+			ssp.SetAttr(qual.SpanAttrs()...)
+		}()
 	}
 	w, q := res.W, res.Q
 	inten := units.Intensity(0)
@@ -561,8 +588,17 @@ func throttledSignal(sig powermon.Signal, pi1 float64, w faults.ThrottleWindow) 
 }
 
 // MeasureIdle records the platform idling for the given duration: the
-// no-load baseline of Table I's column 6.
+// no-load baseline of Table I's column 6. It is MeasureIdleContext
+// without tracing.
 func (s *Simulator) MeasureIdle(duration units.Time) (units.Power, error) {
+	return s.MeasureIdleContext(context.Background(), duration)
+}
+
+// MeasureIdleContext is MeasureIdle under a sim.measure_idle span.
+func (s *Simulator) MeasureIdleContext(ctx context.Context, duration units.Time) (units.Power, error) {
+	_, span := obs.Start(ctx, "sim.measure_idle",
+		obs.String("platform", string(s.plat.ID)), obs.Float("duration_s", duration.Seconds()))
+	defer span.End()
 	var rng *stats.Stream
 	if !s.opts.Noiseless {
 		rng = stats.NewStream(s.opts.Seed^0x1d1e, string(s.plat.ID)+"/idle")
@@ -570,10 +606,13 @@ func (s *Simulator) MeasureIdle(duration units.Time) (units.Power, error) {
 	trace, err := s.opts.Faults.Record(s.meter, powermon.Constant(s.plat.IdlePower), duration, rng,
 		string(s.plat.ID)+"/idle")
 	if err != nil {
+		span.Event("meter.error", obs.String("error", err.Error()),
+			obs.Bool("transient", powermon.IsTransient(err)))
 		return 0, err
 	}
 	if s.opts.Sanitize && !s.opts.Noiseless {
-		trace.Sanitize()
+		qual := trace.Sanitize()
+		span.SetAttr(qual.SpanAttrs()...)
 	}
 	return trace.AvgPower(), nil
 }

@@ -1,0 +1,65 @@
+#!/bin/sh
+# profile.sh — capture a CPU profile from a live archlined.
+#
+# Boots the daemon on an ephemeral port with -pprof, drives a little
+# query load at it so the profile has something to show, fetches
+# /debug/pprof/profile, and writes the result to $OUT (default
+# cpu.pprof in the repo root). Inspect it with `go tool pprof`.
+#
+#   OUT=/tmp/archlined.pprof SECS=10 ./scripts/profile.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-cpu.pprof}
+SECS=${SECS:-5}
+
+tmpdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+echo "profile: building archlined"
+go build -o "$tmpdir/archlined" ./cmd/archlined
+
+"$tmpdir/archlined" -addr 127.0.0.1:0 -pprof >"$tmpdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 1 50); do
+    base=$(sed -n 's/^archlined listening on \(.*\)$/\1/p' "$tmpdir/daemon.log")
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+if [ -z "$base" ]; then
+    echo "profile: archlined never announced its address" >&2
+    cat "$tmpdir/daemon.log" >&2
+    exit 1
+fi
+echo "profile: daemon at $base, sampling CPU for ${SECS}s"
+
+# Background load: distinct sweeps so each request evaluates the model
+# instead of hitting the response cache.
+(
+    i=0
+    while kill -0 "$daemon_pid" 2>/dev/null; do
+        i=$((i + 1))
+        curl -fsS "$base/v1/platforms/gtx-titan/roofline?points=$((16 + i % 48))" \
+            >/dev/null 2>&1 || true
+    done
+) &
+load_pid=$!
+
+curl -fsS -o "$OUT" "$base/debug/pprof/profile?seconds=$SECS"
+
+kill "$load_pid" 2>/dev/null || true
+wait "$load_pid" 2>/dev/null || true
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+
+echo "profile: wrote $OUT ($(wc -c <"$OUT") bytes)"
+echo "profile: inspect with: go tool pprof $OUT"

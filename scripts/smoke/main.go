@@ -1,7 +1,8 @@
 // smoke is the CI smoke probe for archlined: pointed at a running
 // daemon, it checks /healthz, the shape of one roofline sweep, response
-// determinism (two identical requests must return identical bytes), and
-// the metrics exposition. With -chaos it instead asserts graceful
+// determinism (two identical requests must return identical bytes), the
+// metrics exposition (including line-level format validity), and
+// X-Request-Id echo. With -chaos it instead asserts graceful
 // degradation against a daemon running with chaos middleware enabled:
 // every failure must carry the JSON error envelope (no naked 5xx),
 // every 429/503 must carry Retry-After, and liveness must survive. It
@@ -16,6 +17,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -91,13 +93,66 @@ func main() {
 		"archlined_requests_total",
 		"archlined_cache_hits_total 1",
 		"archlined_model_evals_total 1",
+		"# HELP archlined_requests_total",
+		"# TYPE archlined_request_duration_seconds histogram",
 	} {
 		if !strings.Contains(string(metrics), want) {
 			log.Fatalf("smoke: metrics missing %q in:\n%s", want, metrics)
 		}
 	}
+	checkExpositionFormat(string(metrics))
+	checkRequestIDEcho(client, *base)
 
 	fmt.Println("smoke: OK")
+}
+
+// checkExpositionFormat walks every line of the /metrics body and
+// requires it to be either a comment or a `name{labels} value` sample
+// whose value parses as a float — the contract scrapers rely on.
+func checkExpositionFormat(metrics string) {
+	for n, line := range strings.Split(strings.TrimRight(metrics, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || name == "" {
+			log.Fatalf("smoke: metrics line %d is not `name value`: %q", n+1, line)
+		}
+		if open := strings.IndexByte(name, '{'); open >= 0 && !strings.HasSuffix(name, "}") {
+			log.Fatalf("smoke: metrics line %d has an unterminated label block: %q", n+1, line)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			log.Fatalf("smoke: metrics line %d value %q is not numeric: %q", n+1, value, line)
+		}
+	}
+}
+
+// checkRequestIDEcho asserts X-Request-Id propagation: a supplied ID
+// must come back verbatim, and a request without one must be assigned
+// a freshly minted ID.
+func checkRequestIDEcho(client *http.Client, base string) {
+	req, err := http.NewRequest(http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		log.Fatalf("smoke: request-id probe: %v", err)
+	}
+	req.Header.Set("X-Request-Id", "smoke-probe-1")
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatalf("smoke: request-id probe: %v", err)
+	}
+	_ = resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "smoke-probe-1" {
+		log.Fatalf("smoke: supplied X-Request-Id came back as %q, want verbatim echo", got)
+	}
+
+	resp2, err := client.Get(base + "/healthz")
+	if err != nil {
+		log.Fatalf("smoke: request-id mint probe: %v", err)
+	}
+	_ = resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); got == "" {
+		log.Fatal("smoke: request without X-Request-Id was not assigned one")
+	}
 }
 
 // chaosProbe hammers a chaos-mode daemon and asserts graceful
