@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check ci chaos fmt serve profile
+.PHONY: build test race vet lint check ci chaos fmt serve profile bench
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ chaos:
 	$(GO) test -race -count=1 ./internal/faults/ ./internal/powermon/ ./internal/sim/ \
 		./internal/microbench/ ./internal/fit/ ./internal/server/
 	$(GO) run ./cmd/archline -platform gtx-titan -faults paper -seed 42 measure
+
+## bench runs the perf-trajectory benchmarks (parallel suite driver,
+## batch vs sequential HTTP, streaming sweep, microbench hot paths) and
+## snapshots them to BENCH_engine.json via scripts/benchjson.
+bench:
+	./scripts/bench.sh
 
 fmt:
 	gofmt -w .

@@ -7,7 +7,9 @@ package archline
 // the paper reports.
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"archline/internal/cache"
@@ -41,6 +43,32 @@ func BenchmarkTable1(b *testing.B) {
 	}
 	b.ReportMetric(last.MaxRelErr("pi_1"), "worst-pi1-relerr")
 	b.ReportMetric(last.MaxRelErr("eps_mem"), "worst-epsmem-relerr")
+}
+
+// BenchmarkSuiteRun measures the Table I driver — the 12-platform
+// measure+fit pipeline behind `archline table1` — at several widths of
+// the two-level worker pool. workers=1 is the sequential baseline the
+// speedup claims compare against; workers=0 lets pool.Clamp pick
+// NumCPU. Outputs are bit-identical at every width (asserted by
+// TestRunDeterministicAcrossWorkers), so the widths differ only in
+// wall-clock.
+func BenchmarkSuiteRun(b *testing.B) {
+	widths := []int{1, 2, 4, 0}
+	for _, workers := range widths {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = fmt.Sprintf("workers=max(%d)", runtime.NumCPU())
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.TableI(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFig1 regenerates the fig. 1 building-block comparison.

@@ -93,6 +93,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		points     = fs.Int("points", 25, "intensity sweep points per platform")
 		replicates = fs.Int("replicates", 1, "suite replicates (fig4 uses 4 by default)")
 		noiseless  = fs.Bool("noiseless", false, "disable measurement noise")
+		workers    = fs.Int("workers", 0,
+			"worker-pool width per fan-out level (0 = all CPUs); results are identical at any width")
 		platform   = fs.String("platform", "gtx-titan", "platform ID for fit/sweep/roofline/measure")
 		platFile   = fs.String("platform-file", "", "JSON platform description to use instead of -platform")
 		faultsProf = fs.String("faults", "none", "fault-injection profile for measure: none, paper, harsh")
@@ -121,6 +123,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		SweepPoints: *points,
 		Noiseless:   *noiseless,
 		Replicates:  *replicates,
+		Workers:     *workers,
 	}
 	// measure carries fault-injection flags the generic dispatch does not
 	// know about, so it is routed here (with -platform-file support).
@@ -168,6 +171,8 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 		drain       = fs.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown drain timeout")
 		maxInflight = fs.Int("max-inflight", server.DefaultMaxInFlight,
 			"concurrent-request ceiling before /v1 load shedding (negative disables)")
+		batchWorkers = fs.Int("batch-workers", 0,
+			"worker-pool width for /v1/batch item evaluation (0 = all CPUs)")
 		chaosProf = fs.String("chaos", "",
 			"chaos middleware fault profile (paper, harsh); off unless set explicitly")
 		chaosSeed = fs.Uint64("chaos-seed", 42, "seed for chaos draws (same seed, same chaos)")
@@ -196,6 +201,7 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 		CacheEntries:   *entries,
 		DrainTimeout:   *drain,
 		MaxInFlight:    *maxInflight,
+		BatchWorkers:   *batchWorkers,
 		ChaosProfile:   *chaosProf,
 		ChaosSeed:      *chaosSeed,
 		LogWriter:      stderr,
@@ -338,6 +344,7 @@ func fitPlatform(opts experiments.Options, plat *machine.Platform, w io.Writer) 
 	if opts.SweepPoints > 0 {
 		cfg.SweepPoints = opts.SweepPoints
 	}
+	cfg.Workers = opts.Workers
 	suite, err := microbench.Run(plat, cfg, sim.Options{Seed: opts.Seed, Noiseless: opts.Noiseless})
 	if err != nil {
 		return err
@@ -617,6 +624,7 @@ func exportAll(opts experiments.Options, w io.Writer) error {
 	if opts.SweepPoints > 0 {
 		cfg.SweepPoints = opts.SweepPoints
 	}
+	cfg.Workers = opts.Workers
 	for _, plat := range machine.All() {
 		res, err := microbench.Run(plat, cfg, sim.Options{Seed: opts.Seed, Noiseless: opts.Noiseless})
 		if err != nil {

@@ -26,17 +26,23 @@ type Options struct {
 	// Replicates repeats the suite with distinct seeds and pools the
 	// samples, as the paper's repeated runs do; zero means 1.
 	Replicates int
-	// Workers bounds the platform-level fan-out of the drivers; zero uses
-	// GOMAXPROCS-many. Results are identical at any worker count.
+	// Workers bounds each level of the drivers' two-level fan-out: the
+	// platform-level pool (12-way) and the kernel-level pool inside each
+	// microbench.Run both take this count. Zero uses NumCPU-many; the
+	// exact clamping semantics live in pool.Clamp. Results are
+	// bit-identical at any worker count.
 	Workers int
 }
 
-// suiteConfig builds the microbenchmark configuration for an experiment.
+// suiteConfig builds the microbenchmark configuration for an experiment,
+// threading the worker budget down so the suite's kernel-level pool
+// follows the same setting as the platform fan-out.
 func (o Options) suiteConfig() microbench.Config {
 	cfg := microbench.DefaultConfig()
 	if o.SweepPoints > 0 {
 		cfg.SweepPoints = o.SweepPoints
 	}
+	cfg.Workers = o.Workers
 	return cfg
 }
 

@@ -2,10 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"archline/internal/machine"
+	"archline/internal/pool"
 )
 
 // forEachPlatform runs fn over the platforms concurrently with a bounded
@@ -13,40 +12,17 @@ import (
 // simulation is seeded independently (noise streams key on the platform
 // ID), so the outcome is bit-identical regardless of scheduling — the
 // parallelism only buys wall-clock time on the 12-way fan-out the
-// experiment drivers all share.
+// experiment drivers all share. Worker-count semantics (0 = NumCPU,
+// clamped to the platform count) live in pool.Clamp; the kernel-level
+// pool inside microbench.Run uses the same policy, so the two fan-out
+// layers cannot drift.
 func forEachPlatform[T any](platforms []*machine.Platform, workers int,
 	fn func(*machine.Platform) (T, error)) ([]T, error) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(platforms) {
-		workers = len(platforms)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	results := make([]T, len(platforms))
-	errs := make([]error, len(platforms))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				results[idx], errs[idx] = fn(platforms[idx])
-			}
-		}()
-	}
-	for idx := range platforms {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", platforms[i].Name, err)
-		}
+	results, errs := pool.Map(platforms, workers, func(_ int, p *machine.Platform) (T, error) {
+		return fn(p)
+	})
+	if i, err := pool.FirstError(errs); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", platforms[i].Name, err)
 	}
 	return results, nil
 }

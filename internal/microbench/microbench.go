@@ -23,6 +23,7 @@ import (
 
 	"archline/internal/machine"
 	"archline/internal/model"
+	"archline/internal/pool"
 	"archline/internal/sim"
 	"archline/internal/units"
 )
@@ -46,6 +47,13 @@ type Config struct {
 	IncludeCache bool
 	// IncludeChase adds the random-access kernel.
 	IncludeChase bool
+	// Workers bounds the kernel-level fan-out of Run: how many kernels
+	// are measured concurrently on this platform. Zero means NumCPU;
+	// the count is clamped by pool.Clamp, the same policy the
+	// platform-level fan-out in internal/experiments uses. Every noise
+	// stream keys on (platform, kernel), so Run's output is
+	// bit-identical at any worker count — workers only buy wall clock.
+	Workers int
 }
 
 // DefaultConfig is the full suite as the paper ran it.
@@ -180,21 +188,30 @@ type Result struct {
 	IdlePower    units.Power
 }
 
-// Run builds and executes the suite, returning all measurements.
+// Run builds and executes the suite, returning all measurements. The
+// kernels are measured concurrently under a bounded worker pool
+// (Config.Workers; zero means NumCPU). Measurements land in suite
+// order and every noise stream keys on (platform, kernel), so the
+// Result is bit-identical at any worker count; combined with the
+// platform-level fan-out in internal/experiments this gives the
+// 12-platform drivers two-level parallelism.
 func Run(plat *machine.Platform, cfg Config, opts sim.Options) (*Result, error) {
 	kernels, err := BuildSuite(plat, cfg)
 	if err != nil {
 		return nil, err
 	}
+	// The simulator is safe for concurrent Measure calls: its platform
+	// and meter are read-only and the fault injector locks its own
+	// label-keyed state.
 	s := sim.New(plat, opts)
-	res := &Result{Platform: plat}
-	for _, k := range kernels {
-		m, err := s.Measure(k)
-		if err != nil {
-			return nil, fmt.Errorf("microbench: %s on %s: %w", k.Name, plat.Name, err)
-		}
-		res.Measurements = append(res.Measurements, m)
+	measurements, errs := pool.Map(kernels, cfg.Workers,
+		func(_ int, k sim.Kernel) (sim.Measurement, error) {
+			return s.Measure(k)
+		})
+	if i, err := pool.FirstError(errs); err != nil {
+		return nil, fmt.Errorf("microbench: %s on %s: %w", kernels[i].Name, plat.Name, err)
 	}
+	res := &Result{Platform: plat, Measurements: measurements}
 	idle, err := s.MeasureIdle(1)
 	if err != nil {
 		return nil, err
@@ -203,36 +220,46 @@ func Run(plat *machine.Platform, cfg Config, opts sim.Options) (*Result, error) 
 	return res, nil
 }
 
-// Sweep returns the DRAM intensity-sweep measurements of one precision,
-// in ascending intensity order (the suite builds them that way).
-func (r *Result) Sweep(prec sim.Precision) []sim.Measurement {
-	var out []sim.Measurement
-	for _, m := range r.Measurements {
-		if m.Pattern == sim.StreamPattern && m.Level == model.LevelDRAM && m.Precision == prec {
-			out = append(out, m)
+// filter returns the measurements satisfying keep, preallocated by a
+// counted first pass so the hot fitting paths cost exactly one
+// allocation instead of append's repeated regrowth.
+func (r *Result) filter(keep func(*sim.Measurement) bool) []sim.Measurement {
+	n := 0
+	for i := range r.Measurements {
+		if keep(&r.Measurements[i]) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]sim.Measurement, 0, n)
+	for i := range r.Measurements {
+		if keep(&r.Measurements[i]) {
+			out = append(out, r.Measurements[i])
 		}
 	}
 	return out
+}
+
+// Sweep returns the DRAM intensity-sweep measurements of one precision,
+// in ascending intensity order (the suite builds them that way).
+func (r *Result) Sweep(prec sim.Precision) []sim.Measurement {
+	return r.filter(func(m *sim.Measurement) bool {
+		return m.Pattern == sim.StreamPattern && m.Level == model.LevelDRAM && m.Precision == prec
+	})
 }
 
 // ByLevel returns the cache measurements for a level.
 func (r *Result) ByLevel(level model.MemLevel) []sim.Measurement {
-	var out []sim.Measurement
-	for _, m := range r.Measurements {
-		if m.Level == level && m.Pattern == sim.StreamPattern {
-			out = append(out, m)
-		}
-	}
-	return out
+	return r.filter(func(m *sim.Measurement) bool {
+		return m.Level == level && m.Pattern == sim.StreamPattern
+	})
 }
 
 // Chase returns the random-access measurements.
 func (r *Result) Chase() []sim.Measurement {
-	var out []sim.Measurement
-	for _, m := range r.Measurements {
-		if m.Pattern == sim.ChasePattern {
-			out = append(out, m)
-		}
-	}
-	return out
+	return r.filter(func(m *sim.Measurement) bool {
+		return m.Pattern == sim.ChasePattern
+	})
 }

@@ -1,0 +1,177 @@
+package microbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"archline/internal/faults"
+	"archline/internal/machine"
+	"archline/internal/model"
+	"archline/internal/sim"
+)
+
+// marshalResult canonicalizes a Result for byte comparison: the
+// measurements and idle power are everything Run computes (the Platform
+// pointer is shared input, not output).
+func marshalResult(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Measurements []sim.Measurement
+		IdlePower    float64
+	}{r.Measurements, r.IdlePower.Watts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRunDeterministicAcrossWorkers is the scheduling-independence
+// contract of the kernel-level pool: the same platform and seed must
+// produce byte-identical marshalled Results at any worker count.
+// Run under -race this also exercises the concurrent Measure path.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	plat := machine.MustByID(machine.GTXTitan)
+	opts := sim.Options{Seed: 42}
+	base := DefaultConfig()
+	base.SweepPoints = 8
+
+	cfg := base
+	cfg.Workers = 1
+	ref, err := Run(plat, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalResult(t, ref)
+
+	for _, workers := range []int{2, 8, 0} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Run(plat, cfg, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := marshalResult(t, res); string(got) != string(want) {
+			t.Fatalf("workers=%d produced a different Result than workers=1", workers)
+		}
+	}
+}
+
+// TestRunParallelPreservesSuiteOrder pins the order-stability half of
+// the contract separately: measurement k must describe kernel k of the
+// built suite, at a worker count far above the kernel count.
+func TestRunParallelPreservesSuiteOrder(t *testing.T) {
+	plat := machine.MustByID(machine.ArndaleGPU)
+	cfg := DefaultConfig()
+	cfg.SweepPoints = 5
+	cfg.Workers = 64
+	kernels, err := BuildSuite(plat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plat, cfg, sim.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measurements) != len(kernels) {
+		t.Fatalf("got %d measurements for %d kernels", len(res.Measurements), len(kernels))
+	}
+	for i, m := range res.Measurements {
+		if m.Kernel != kernels[i].Name {
+			t.Fatalf("measurement %d is %q, want %q", i, m.Kernel, kernels[i].Name)
+		}
+	}
+}
+
+// TestRunParallelPropagatesLowestIndexError checks that failures
+// surface deterministically under concurrency: with every meter
+// recording disconnecting, the reported kernel is the suite's first
+// regardless of which worker hit its failure soonest.
+func TestRunParallelPropagatesLowestIndexError(t *testing.T) {
+	plat := machine.MustByID(machine.GTXTitan)
+	cfg := DefaultConfig()
+	cfg.SweepPoints = 4
+	kernels, err := BuildSuite(plat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(faults.Profile{Name: "always-down", DisconnectProb: 1, DisconnectBurst: 1000}, 1)
+	for _, workers := range []int{1, 8} {
+		cfg.Workers = workers
+		_, err := Run(plat, cfg, sim.Options{Seed: 3, Faults: inj})
+		if err == nil {
+			t.Fatalf("workers=%d: expected a disconnect failure", workers)
+		}
+		if !strings.Contains(err.Error(), kernels[0].Name) {
+			t.Fatalf("workers=%d: error %q does not name the first kernel %q",
+				workers, err, kernels[0].Name)
+		}
+	}
+}
+
+// TestFiltersSingleAllocation proves the counted-preallocation claim:
+// each filter accessor performs at most one slice allocation per call.
+func TestFiltersSingleAllocation(t *testing.T) {
+	plat := machine.MustByID(machine.GTXTitan)
+	cfg := DefaultConfig()
+	cfg.SweepPoints = 10
+	res, err := Run(plat, cfg, sim.Options{Seed: 1, Noiseless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Sweep", func() { res.Sweep(sim.Single) }},
+		{"ByLevel", func() { res.ByLevel(model.LevelL1) }},
+		{"Chase", func() { res.Chase() }},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(20, c.fn); allocs > 1 {
+			t.Errorf("%s allocates %.0f times per call, want <= 1", c.name, allocs)
+		}
+	}
+}
+
+// BenchmarkResultFilters measures the per-call cost of the Result
+// accessors the fitting pipeline hammers; allocs/op is the headline
+// (one counted preallocation per call).
+func BenchmarkResultFilters(b *testing.B) {
+	plat := machine.MustByID(machine.GTXTitan)
+	cfg := DefaultConfig()
+	res, err := Run(plat, cfg, sim.Options{Seed: 1, Noiseless: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Sweep(sim.Single)
+		_ = res.ByLevel(model.LevelL1)
+		_ = res.Chase()
+	}
+}
+
+// BenchmarkRunWorkers measures one platform's full suite at increasing
+// kernel-level worker counts (the tentpole's inner fan-out).
+func BenchmarkRunWorkers(b *testing.B) {
+	plat := machine.MustByID(machine.GTXTitan)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers-%d", workers)
+		if workers == 0 {
+			name = "workers-max"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.SweepPoints = 15
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(plat, cfg, sim.Options{Seed: 42}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -107,8 +107,17 @@ func Crossovers(a, b Params, m Metric, lo, hi units.Intensity, n int) []units.In
 	if n < 2 || lo <= 0 || hi <= lo {
 		return nil
 	}
+	return CrossoversOnGrid(a, b, m, LogSpace(lo, hi, n))
+}
+
+// CrossoversOnGrid is Crossovers over a caller-supplied probe grid
+// (ascending intensities), so callers scanning several metric pairs
+// over the same range build the grid once instead of once per pair.
+func CrossoversOnGrid(a, b Params, m Metric, grid []units.Intensity) []units.Intensity {
+	if len(grid) < 2 {
+		return nil
+	}
 	var out []units.Intensity
-	grid := LogSpace(lo, hi, n)
 	sign := func(i units.Intensity) int {
 		va, vb := a.valueAt(m, i), b.valueAt(m, i)
 		switch {

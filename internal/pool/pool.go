@@ -1,0 +1,82 @@
+// Package pool is the one bounded-worker-pool implementation the
+// engine's fan-out layers share. The experiment drivers fan out over
+// the twelve platforms, the microbenchmark suite fans out over its
+// kernels within one platform, and archlined's /v1/batch endpoint fans
+// out over request items — all three run CPU-bound, seeded-deterministic
+// work whose outputs must not depend on scheduling, so they all use the
+// same order-stable Map and the same worker-count policy.
+//
+// Worker-count policy (Clamp, the single source of truth — the layers
+// must not reimplement it):
+//
+//   - workers <= 0 means "use the machine": runtime.NumCPU() many;
+//   - never more workers than items (idle goroutines are waste);
+//   - never fewer than one.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Clamp resolves a requested worker count against n items: zero or
+// negative requests take runtime.NumCPU(), and the result is clamped to
+// [1, n] (for n < 1 the result is 1, so a degenerate item count still
+// yields a runnable pool).
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn over items with at most Clamp(workers, len(items))
+// concurrent goroutines and returns the results in item order along
+// with a parallel error slice (each entry nil on success). fn receives
+// the item's index and value; it must be safe for concurrent use.
+// Because results and errors land at their item's index, the output is
+// identical at any worker count whenever fn itself is deterministic
+// per item — the property the seeded simulation layers rely on.
+func Map[S, T any](items []S, workers int, fn func(int, S) (T, error)) ([]T, []error) {
+	results := make([]T, len(items))
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return results, errs
+	}
+	workers = Clamp(workers, len(items))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx], errs[idx] = fn(idx, items[idx])
+			}
+		}()
+	}
+	for idx := range items {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	return results, errs
+}
+
+// FirstError returns the lowest-index non-nil error and its index, or
+// (-1, nil) when every entry is nil. Reducing by lowest index keeps the
+// reported failure independent of goroutine scheduling.
+func FirstError(errs []error) (int, error) {
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}

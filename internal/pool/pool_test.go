@@ -1,0 +1,104 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 8, min(runtime.NumCPU(), 8)},
+		{-3, 4, min(runtime.NumCPU(), 4)},
+		{2, 8, 2},
+		{16, 4, 4},
+		{3, 0, 1},
+		{0, 0, 1},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.workers, c.n); got != c.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMapOrderStable(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 3, 8, 0} {
+		got, errs := Map(items, workers, func(idx, v int) (int, error) {
+			return v * v, nil
+		})
+		if _, err := FirstError(errs); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapErrorsLandAtIndex(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5}
+	boom := errors.New("boom")
+	_, errs := Map(items, 4, func(idx, v int) (int, error) {
+		if v%2 == 1 {
+			return 0, fmt.Errorf("item %d: %w", v, boom)
+		}
+		return v, nil
+	})
+	if len(errs) != len(items) {
+		t.Fatalf("errs length %d, want %d", len(errs), len(items))
+	}
+	for i, err := range errs {
+		if (i%2 == 1) != (err != nil) {
+			t.Errorf("errs[%d] = %v", i, err)
+		}
+	}
+	idx, err := FirstError(errs)
+	if idx != 1 || !errors.Is(err, boom) {
+		t.Fatalf("FirstError = (%d, %v), want index 1 wrapping boom", idx, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	items := make([]int, 64)
+	_, errs := Map(items, workers, func(idx, v int) (int, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		return 0, nil
+	})
+	if _, err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent workers, cap was %d", p, workers)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, errs := Map(nil, 4, func(idx int, v struct{}) (int, error) { return 1, nil })
+	if len(got) != 0 || len(errs) != 0 {
+		t.Fatalf("empty Map returned %d results, %d errors", len(got), len(errs))
+	}
+	if idx, err := FirstError(nil); idx != -1 || err != nil {
+		t.Fatalf("FirstError(nil) = (%d, %v)", idx, err)
+	}
+}

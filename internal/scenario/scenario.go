@@ -102,10 +102,13 @@ func CompareBlocks(aName string, a model.Params, bName string, b model.Params,
 		bc.Eff[mi] = SweepMetric(mm.name, mm.p, model.MetricFlopsPerJoule, grid)
 		bc.Power[mi] = SweepMetric(mm.name, mm.p, model.MetricAvgPower, grid)
 	}
-	if xs := model.Crossovers(a, b, model.MetricFlopsPerJoule, lo, hi, 4*n); len(xs) > 0 {
+	// One shared refinement grid for both crossover scans: 4x the sweep
+	// resolution, built once instead of once per metric pair.
+	fine := model.LogSpace(lo, hi, 4*n)
+	if xs := model.CrossoversOnGrid(a, b, model.MetricFlopsPerJoule, fine); len(xs) > 0 {
 		bc.EnergyCrossover = xs[len(xs)-1]
 	}
-	if xs := model.Crossovers(agg, a, model.MetricFlopRate, lo, hi, 4*n); len(xs) > 0 {
+	if xs := model.CrossoversOnGrid(agg, a, model.MetricFlopRate, fine); len(xs) > 0 {
 		bc.AggPerfCrossover = xs[len(xs)-1]
 	}
 	for k := range grid {

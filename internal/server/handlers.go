@@ -343,6 +343,19 @@ func (s *Server) handleQuery(_ http.ResponseWriter, r *http.Request) (any, *apiE
 	if aerr := s.decodeBody(r, &req); aerr != nil {
 		return nil, aerr
 	}
+	resp, aerr := s.evalQuery(req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return resp, nil
+}
+
+// evalQuery validates and serves one query item through the shared
+// response cache and singleflight group. POST /v1/query sends its
+// single item here and POST /v1/batch sends each of its N items, so a
+// batch item, an equivalent single query, and a concurrent duplicate
+// all share one cache slot and at most one model evaluation.
+func (s *Server) evalQuery(req queryRequest) (*cachedResponse, *apiError) {
 	plat, platKey, aerr := req.platformRef.resolve()
 	if aerr != nil {
 		return nil, aerr

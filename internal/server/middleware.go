@@ -94,6 +94,15 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
+// Flush forwards streaming flushes: wrapping the ResponseWriter hides
+// its http.Flusher, and the NDJSON sweep stream needs each chunk pushed
+// to the client as it completes.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // requestIDHeader is the header archlined reads a caller-supplied
 // request ID from and echoes the effective ID back on.
 const requestIDHeader = "X-Request-Id"
@@ -233,7 +242,7 @@ func (s *Server) serveInstrumented(pattern, method string, h handlerFunc, w http
 			return
 		}
 	}
-	writeResponse(rec, resp)
+	writeResponseNegotiated(rec, r, resp)
 }
 
 // writeResponse emits an encoded body with JSON headers.

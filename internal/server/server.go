@@ -9,16 +9,20 @@
 //	GET  /v1/platforms                      Table I database
 //	GET  /v1/platforms/{id}/roofline        eq. (1)-(7) sweep over intensity
 //	POST /v1/query                          time/energy/power at (W, Q) or I
+//	POST /v1/batch                          N query items, one round-trip
+//	POST /v1/sweep/stream                   NDJSON roofline sweep, flushed in chunks
 //	POST /v1/compare                        fig. 1 crossover analysis
 //	POST /v1/whatif                         throttle / bound / aggregate scenarios
 //	GET  /healthz                           liveness
 //	GET  /metrics                           counters, latency quantiles, cache stats
 //
-// Every /v1 response is a pure function of the request, so the server
-// keeps an LRU cache keyed on the canonicalized request and deduplicates
-// concurrent identical computations singleflight-style: N simultaneous
-// requests for the same sweep cost one model evaluation. The package uses
-// only the Go standard library.
+// Every buffered /v1 response is a pure function of the request, so the
+// server keeps an LRU cache keyed on the canonicalized request and
+// deduplicates concurrent identical computations singleflight-style: N
+// simultaneous requests for the same sweep cost one model evaluation,
+// and the N items of one /v1/batch flow through the same cache and
+// flight group item by item. Responses negotiate gzip via
+// Accept-Encoding. The package uses only the Go standard library.
 package server
 
 import (
@@ -53,6 +57,10 @@ type Config struct {
 	// answers 429 + Retry-After. Zero means DefaultMaxInFlight;
 	// negative disables shedding.
 	MaxInFlight int
+	// BatchWorkers bounds the per-request worker pool evaluating
+	// /v1/batch items. Zero means NumCPU (pool.Clamp semantics); the
+	// pool never exceeds the batch's item count.
+	BatchWorkers int
 	// BreakerWindow, BreakerErrRate, BreakerMinSamples, and
 	// BreakerCooldown tune the /v1 circuit breaker; zero fields take
 	// the resilience defaults.
@@ -162,6 +170,8 @@ func New(cfg Config) *Server {
 	s.handle("GET", "/v1/platforms", s.handlePlatforms)
 	s.handle("GET", "/v1/platforms/{id}/roofline", s.handleRoofline)
 	s.handle("POST", "/v1/query", s.handleQuery)
+	s.handle("POST", "/v1/batch", s.handleBatch)
+	s.handle("POST", "/v1/sweep/stream", s.handleSweepStream)
 	s.handle("POST", "/v1/compare", s.handleCompare)
 	s.handle("POST", "/v1/whatif", s.handleWhatIf)
 	if cfg.EnablePprof {

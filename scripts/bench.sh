@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench.sh — run the engine benchmark suite and snapshot it as JSON.
+#
+# Runs the perf-trajectory benchmarks (the parallel suite driver, the
+# batch-vs-sequential HTTP comparison, the streaming sweep, and the
+# microbench hot-path benches), then converts the text output to a
+# stable JSON document via scripts/benchjson.
+#
+# Usage:
+#   scripts/bench.sh [out.json]        # default out: BENCH_engine.json
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 2x; CI smoke uses 1x)
+#   BENCHCOUNT  go test -count value (default 1)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_engine.json}
+benchtime=${BENCHTIME:-2x}
+count=${BENCHCOUNT:-1}
+pattern='^(BenchmarkSuiteRun|BenchmarkRunWorkers|BenchmarkResultFilters|BenchmarkBatchVsSequential|BenchmarkSweepStream)$'
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "bench: go test -bench (benchtime=$benchtime, count=$count)"
+go test -run '^$' -bench "$pattern" -benchmem \
+    -benchtime "$benchtime" -count "$count" \
+    . ./internal/microbench/ ./internal/server/ | tee "$tmp"
+
+go run ./scripts/benchjson <"$tmp" >"$out"
+echo "bench: wrote $out"

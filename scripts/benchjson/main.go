@@ -1,0 +1,115 @@
+// benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so benchmark trajectories can be
+// committed, diffed, and charted without re-parsing the text format.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./scripts/benchjson > BENCH.json
+//
+// Each benchmark line becomes one record: the benchmark name (with the
+// trailing -GOMAXPROCS token split off), the iteration count, and every
+// "value unit" pair the line reports — ns/op, B/op, allocs/op, and any
+// custom b.ReportMetric units. Context lines (goos, goarch, pkg, cpu)
+// are attached to the records that follow them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one parsed benchmark result line.
+type record struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// document is the full parsed run.
+type document struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkName-P  N  v1 u1  v2 u2 ..." line.
+// Returns ok=false for lines that are not benchmark results.
+func parseLine(pkg, line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{Package: pkg, Name: fields[0], Iterations: iters,
+		Metrics: make(map[string]float64)}
+	// The -P suffix is GOMAXPROCS, not part of the benchmark's identity.
+	if i := strings.LastIndex(rec.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(rec.Name[i+1:]); err == nil {
+			rec.Name, rec.Procs = rec.Name[:i], p
+		}
+	}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}
+
+func run() error {
+	doc := document{Benchmarks: []record{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if rec, ok := parseLine(pkg, line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, rec)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stdin: %w", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(append(out, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,19 @@ go test -race ./...
 echo "ci: archlint"
 go run ./cmd/archlint -summary ./...
 
+echo "ci: bench smoke"
+# One iteration per benchmark: proves the trajectory harness runs end to
+# end and benchjson parses its output, without CI-grade timings. The
+# JSON lands in a temp dir so the committed BENCH_engine.json snapshot
+# is only refreshed by a deliberate `make bench`.
+bench_tmp=$(mktemp -d)
+BENCHTIME=1x ./scripts/bench.sh "$bench_tmp/bench.json" >/dev/null
+grep -q '"name": "BenchmarkSuiteRun/workers=1"' "$bench_tmp/bench.json" || {
+    echo "ci: bench.json is missing the suite-run trajectory" >&2
+    exit 1
+}
+rm -rf "$bench_tmp"
+
 echo "ci: archlined smoke test"
 # Boot the daemon on an ephemeral port, probe it over HTTP, then send
 # SIGTERM and require a clean drain within 5 seconds.

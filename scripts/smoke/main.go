@@ -1,8 +1,9 @@
 // smoke is the CI smoke probe for archlined: pointed at a running
 // daemon, it checks /healthz, the shape of one roofline sweep, response
 // determinism (two identical requests must return identical bytes), the
-// metrics exposition (including line-level format validity), and
-// X-Request-Id echo. With -chaos it instead asserts graceful
+// metrics exposition (including line-level format validity),
+// X-Request-Id echo, the /v1/batch fan-out (duplicate items identical,
+// bad items failing in-slot), and the NDJSON sweep stream protocol. With -chaos it instead asserts graceful
 // degradation against a daemon running with chaos middleware enabled:
 // every failure must carry the JSON error envelope (no naked 5xx),
 // every 429/503 must carry Retry-After, and liveness must survive. It
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -103,7 +105,124 @@ func main() {
 	checkExpositionFormat(string(metrics))
 	checkRequestIDEcho(client, *base)
 
+	// The batch and streaming probes run after the metrics assertions
+	// above: those pin exact counter values (one eval, one cache hit)
+	// and anything evaluated here would shift them.
+	checkBatch(client, *base)
+	checkSweepStream(client, *base)
+
 	fmt.Println("smoke: OK")
+}
+
+// checkBatch probes POST /v1/batch: duplicate items must come back
+// byte-identical (one shared evaluation) and an invalid item must fail
+// alone, as an in-slot error envelope, without failing the batch.
+func checkBatch(client *http.Client, base string) {
+	const body = `{"items":[
+		{"platform_id":"gtx-titan","intensity":2.5},
+		{"platform_id":"gtx-titan","intensity":2.5},
+		{"platform_id":"not-a-machine","intensity":2.5}
+	]}`
+	resp, err := client.Post(base+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatalf("smoke: batch: %v", err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		log.Fatalf("smoke: batch read: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("smoke: batch status %d: %s", resp.StatusCode, out)
+	}
+	var batch struct {
+		Items   int               `json:"items"`
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(out, &batch); err != nil {
+		log.Fatalf("smoke: batch JSON: %v in %s", err, out)
+	}
+	if batch.Items != 3 || len(batch.Results) != 3 {
+		log.Fatalf("smoke: batch shape wrong: items=%d results=%d", batch.Items, len(batch.Results))
+	}
+	if string(batch.Results[0]) != string(batch.Results[1]) {
+		log.Fatal("smoke: duplicate batch items returned different bytes")
+	}
+	var itemErr struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(batch.Results[2], &itemErr); err != nil || itemErr.Error.Code != "not_found" {
+		log.Fatalf("smoke: bad item should carry a not_found envelope, got %s", batch.Results[2])
+	}
+}
+
+// checkSweepStream probes POST /v1/sweep/stream: the NDJSON protocol
+// must deliver a header, at least two chunks, and a well-formed done
+// trailer accounting for every grid point.
+func checkSweepStream(client *http.Client, base string) {
+	const points = 2000
+	body := fmt.Sprintf(`{"platform_id":"gtx-titan","points":%d}`, points)
+	resp, err := client.Post(base+"/v1/sweep/stream", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatalf("smoke: stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		log.Fatalf("smoke: stream status %d: %s", resp.StatusCode, out)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		log.Fatalf("smoke: stream Content-Type = %q, want application/x-ndjson", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("smoke: stream read: %v", err)
+	}
+	if len(lines) < 4 {
+		log.Fatalf("smoke: stream has %d lines, want header + >=2 chunks + trailer", len(lines))
+	}
+	var header struct {
+		Points int `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil || header.Points != points {
+		log.Fatalf("smoke: stream header %q: err=%v points=%d", lines[0], err, header.Points)
+	}
+	streamed := 0
+	for i, line := range lines[1 : len(lines)-1] {
+		var chunk struct {
+			Seq    int               `json:"seq"`
+			Points []json.RawMessage `json:"points"`
+		}
+		if err := json.Unmarshal([]byte(line), &chunk); err != nil {
+			log.Fatalf("smoke: stream chunk line %d: %v", i+1, err)
+		}
+		if chunk.Seq != i {
+			log.Fatalf("smoke: stream chunk %d has seq %d", i, chunk.Seq)
+		}
+		streamed += len(chunk.Points)
+	}
+	var trailer struct {
+		Done   bool `json:"done"`
+		Chunks int  `json:"chunks"`
+		Points int  `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		log.Fatalf("smoke: stream trailer %q: %v", lines[len(lines)-1], err)
+	}
+	if !trailer.Done || trailer.Points != points || trailer.Chunks != len(lines)-2 || streamed != points {
+		log.Fatalf("smoke: stream trailer %+v with %d streamed points, want done with %d points in %d chunks",
+			trailer, streamed, points, len(lines)-2)
+	}
+	if trailer.Chunks < 2 {
+		log.Fatalf("smoke: stream delivered %d chunks, want at least 2 flushes", trailer.Chunks)
+	}
 }
 
 // checkExpositionFormat walks every line of the /metrics body and
