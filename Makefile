@@ -15,9 +15,11 @@ vet:
 	$(GO) vet ./...
 
 ## lint runs the in-repo static-analysis suite (cmd/archlint):
-## unit-safety, float comparisons, map-order determinism, dropped
-## errors, goroutine hygiene, simulator seeding, and span-lifecycle
-## discipline. Exits nonzero on any unsuppressed finding.
+## unit-safety, dimensional consistency of raw-float arithmetic
+## (dimcheck), float comparisons, map-order determinism, dropped
+## errors, goroutine hygiene, simulator seeding, span-lifecycle
+## discipline, and stale-suppression detection. Exits nonzero on any
+## unsuppressed finding.
 lint:
 	$(GO) run ./cmd/archlint ./...
 

@@ -1,10 +1,10 @@
-// Command archlint runs archline's in-repo static-analysis suite: seven
-// analyzers (unitsafety, floatcmp, maporder, errdrop, ctxgoroutine,
-// simseed, spanclose) that enforce the unit-safety, determinism,
-// concurrency-hygiene, and span-lifecycle discipline the energy-model
-// reproduction depends on. It is built
-// entirely on the standard library's go/ast, go/parser, go/types, and
-// go/importer packages.
+// Command archlint runs archline's in-repo static-analysis suite: eight
+// analyzers (unitsafety, dimcheck, floatcmp, maporder, errdrop,
+// ctxgoroutine, simseed, spanclose) that enforce the unit-safety,
+// dimensional-consistency, determinism, concurrency-hygiene, and
+// span-lifecycle discipline the energy-model reproduction depends on.
+// It is built entirely on the standard library's go/ast, go/parser,
+// go/types, and go/importer packages.
 //
 // Usage:
 //

@@ -636,7 +636,7 @@ func exportAll(opts experiments.Options, w io.Writer) error {
 				m.Level.String(),
 				strconv.FormatFloat(m.W.Count(), 'g', -1, 64),
 				strconv.FormatFloat(m.Q.Count(), 'g', -1, 64),
-				strconv.FormatFloat(float64(m.Accesses), 'g', -1, 64),
+				strconv.FormatFloat(m.Accesses.Count(), 'g', -1, 64),
 				strconv.FormatFloat(m.Intensity.Ratio(), 'g', -1, 64),
 				strconv.FormatFloat(m.Time.Seconds(), 'g', -1, 64),
 				strconv.FormatFloat(m.Energy.Joules(), 'g', -1, 64),

@@ -64,7 +64,9 @@ func Network() (*NetworkResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		w := units.Flops(float64(eff.FlopRateAt(i)) * 1.0)
+		// One second of work at the effective rate.
+		horizon := units.Time(1)
+		w := units.Flops(eff.FlopRateAt(i).FlopsPerSec() * horizon.Seconds())
 		q := i.Bytes(w)
 		step := cluster.Step{W: w, Q: q, Msg: units.MiB(2), Pattern: cluster.Halo}
 		pred, err := cl.Run(step)

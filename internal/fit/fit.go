@@ -394,9 +394,9 @@ func fitChase(ms []sim.Measurement, base model.Params, line units.Bytes) (*model
 		if m.Accesses <= 0 || m.Time <= 0 {
 			continue
 		}
-		rateSum += float64(m.Accesses) / m.Time.Seconds()
+		rateSum += m.Accesses.Count() / m.Time.Seconds()
 		dyn := m.Energy.Joules() - base.Pi1.Watts()*m.Time.Seconds()
-		epsSum += dyn / float64(m.Accesses)
+		epsSum += dyn / m.Accesses.Count()
 		n++
 	}
 	if n == 0 {

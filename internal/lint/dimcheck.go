@@ -1,0 +1,1024 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DimCheck is the dimensional-consistency analyzer for fitted-constant
+// arithmetic. The compiler's unit types stop protecting a value the
+// moment it becomes a raw float64 — which the fitting and serving code
+// must do constantly (optimizers, JSON envelopes, stats helpers).
+// DimCheck re-derives a dimension vector (dims.go) for those raw
+// floats by tracking where they came from — accessor calls, unit-type
+// conversions, local assignments, and the return values of
+// module-local float64 functions — and then enforces three rules:
+//
+//   - addition, subtraction, ordered comparison, and math.Max/Min must
+//     combine like dimensions (ε + π is meaningless even though both
+//     sides are float64);
+//   - a product or quotient whose dimension no units type names must
+//     not escape raw into a call, struct field, or map — wrap it, or
+//     declare the sink with //archlint:dim;
+//   - a derived-unit value (units.FlopRate, units.EnergyPerFlop, …)
+//     must cross struct-field, map, and interface boundaries through
+//     its named accessor, not a bare float64(...) conversion (the
+//     escape hatch unitsafety leaves open for non-guarded types).
+//
+// Conversions to a units type are also checked against the derived
+// dimension of the operand, so units.Power(e.Joules()) is a finding.
+//
+// Sinks that intentionally accept dimensioned floats are declared with
+// a directive on the function's doc comment or the struct field:
+//
+//	//archlint:dim <unit>
+//
+// where <unit> is a units type name ("Power"), a dimension expression
+// ("Energy/Time", "Time^2", "flop/byte"), "dimensionless"/"1", or
+// "any". An annotated field also gives the analyzer the field's
+// dimension: reads propagate it and stores of a conflicting derivable
+// dimension are flagged.
+//
+// Known limits, by design (SSA-free): dataflow is path-insensitive (a
+// conditional reassignment simply overwrites the tracked dimension),
+// float64 function parameters are dimension-unknown (summaries are
+// context-insensitive), and unknown dimensions are never flagged —
+// the analyzer only speaks when both sides of a combination derive.
+var DimCheck = &Analyzer{
+	Name: "dimcheck",
+	Doc:  "derives dimensions through fitted-constant float64 arithmetic and flags inconsistent combinations, unnamed result dimensions, and unit-stripping escapes",
+	Run:  runDimCheck,
+}
+
+// dimDirective is the declaration-comment prefix for dimension
+// annotations ("//archlint:dim <unit>").
+const dimDirective = "archlint:dim"
+
+// calleePkgExempt lists packages whose calls are formatting or
+// math-plumbing boundaries where raw floats are the point.
+var calleePkgExempt = map[string]bool{
+	"fmt":        true,
+	"log":        true,
+	"log/slog":   true,
+	unitsPkgPath: true,
+	"math":       true, // dimension-aware cases are handled explicitly
+	"sort":       true,
+	"strconv":    true,
+}
+
+// dimResult is a derived dimension: known reports whether derivation
+// succeeded (a known zero vector means "provably dimensionless", which
+// is different from unknown).
+type dimResult struct {
+	d     Dim
+	known bool
+}
+
+func knownDim(d Dim) dimResult { return dimResult{d: d, known: true} }
+
+var unknownDim = dimResult{}
+
+// dimAnn is one parsed //archlint:dim annotation.
+type dimAnn struct {
+	d      Dim
+	anyDim bool
+}
+
+// dimAnnotations holds one package's //archlint:dim declarations.
+type dimAnnotations struct {
+	funcs  map[*types.Func]dimAnn
+	fields map[*types.Var]dimAnn
+}
+
+// dimFactsKey keys the analyzer's shared state in Pass.Facts.
+type dimFactsKey struct{}
+
+// dimFacts is the cross-package cache of one Run: function summaries,
+// per-package FuncDecl indexes, and annotation tables survive from one
+// analyzed package to the next, so the dataflow over fit → model →
+// units is computed once.
+type dimFacts struct {
+	summaries  map[*types.Func]dimResult
+	inProgress map[*types.Func]bool
+	decls      map[string]map[*types.Func]*ast.FuncDecl
+	anns       map[string]*dimAnnotations
+}
+
+func dimFactsOf(pass *Pass) *dimFacts {
+	if pass.Facts == nil {
+		pass.Facts = map[any]any{}
+	}
+	if f, ok := pass.Facts[dimFactsKey{}].(*dimFacts); ok {
+		return f
+	}
+	f := &dimFacts{
+		summaries:  map[*types.Func]dimResult{},
+		inProgress: map[*types.Func]bool{},
+		decls:      map[string]map[*types.Func]*ast.FuncDecl{},
+		anns:       map[string]*dimAnnotations{},
+	}
+	pass.Facts[dimFactsKey{}] = f
+	return f
+}
+
+// dimChecker derives and checks dimensions within one function at a
+// time. pass is nil while silently summarizing a dependency package.
+type dimChecker struct {
+	pass  *Pass
+	info  *types.Info
+	facts *dimFacts
+	dep   func(string) *Package
+	// env tracks the derived dimension of float64 locals, in source
+	// order (SSA-free: the latest assignment wins).
+	env map[types.Object]dimResult
+	// stripped tracks float64 locals initialized from a bare
+	// float64(unitValue) conversion, for the escape check.
+	stripped map[types.Object]string
+}
+
+func runDimCheck(pass *Pass) {
+	if pass.Pkg.Path() == unitsPkgPath {
+		return
+	}
+	facts := dimFactsOf(pass)
+	// Build (and cache) this package's annotations with malformed-
+	// directive reporting; dependency packages are scanned silently on
+	// demand.
+	facts.anns[pass.Pkg.Path()] = buildDimAnnotations(pass.Files, pass.Info, pass)
+	c := &dimChecker{pass: pass, info: pass.Info, facts: facts, dep: pass.Dep}
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.env = map[types.Object]dimResult{}
+			c.stripped = map[types.Object]string{}
+			c.checkBody(fd.Body, parents)
+		}
+	}
+}
+
+// buildDimAnnotations scans //archlint:dim directives on function doc
+// comments and struct fields. pass is non-nil only for the package
+// currently under analysis, which reports malformed directives.
+func buildDimAnnotations(files []*ast.File, info *types.Info, pass *Pass) *dimAnnotations {
+	anns := &dimAnnotations{
+		funcs:  map[*types.Func]dimAnn{},
+		fields: map[*types.Var]dimAnn{},
+	}
+	parse := func(cg *ast.CommentGroup) (dimAnn, bool) {
+		if cg == nil {
+			return dimAnn{}, false
+		}
+		for _, cmt := range cg.List {
+			text := strings.TrimPrefix(cmt.Text, "//")
+			rest, ok := strings.CutPrefix(text, dimDirective)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			d, anyDim, ok := ParseDimExpr(rest)
+			if !ok {
+				if pass != nil {
+					pass.Reportf(cmt.Pos(), "malformed //archlint:dim: %q is not a units type, dimension expression, \"dimensionless\", or \"any\"", strings.TrimSpace(rest))
+				}
+				return dimAnn{}, false
+			}
+			return dimAnn{d: d, anyDim: anyDim}, true
+		}
+		return dimAnn{}, false
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if ann, ok := parse(d.Doc); ok {
+					if fn, _ := info.Defs[d.Name].(*types.Func); fn != nil {
+						anns.funcs[fn] = ann
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						ann, ok := parse(field.Doc)
+						if !ok {
+							ann, ok = parse(field.Comment)
+						}
+						if !ok {
+							continue
+						}
+						for _, name := range field.Names {
+							if v, _ := info.Defs[name].(*types.Var); v != nil {
+								anns.fields[v] = ann
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return anns
+}
+
+// annotationsFor returns the (lazily built) annotations of the package
+// at path.
+func (c *dimChecker) annotationsFor(path string) *dimAnnotations {
+	if a, ok := c.facts.anns[path]; ok {
+		return a
+	}
+	var a *dimAnnotations
+	if c.dep != nil {
+		if p := c.dep(path); p != nil {
+			a = buildDimAnnotations(p.Files, p.Info, nil)
+		}
+	}
+	if a == nil {
+		a = &dimAnnotations{funcs: map[*types.Func]dimAnn{}, fields: map[*types.Var]dimAnn{}}
+	}
+	c.facts.anns[path] = a
+	return a
+}
+
+func (c *dimChecker) funcAnn(fn *types.Func) (dimAnn, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return dimAnn{}, false
+	}
+	ann, ok := c.annotationsFor(fn.Pkg().Path()).funcs[fn]
+	return ann, ok
+}
+
+func (c *dimChecker) fieldAnn(v *types.Var) (dimAnn, bool) {
+	if v == nil || v.Pkg() == nil {
+		return dimAnn{}, false
+	}
+	ann, ok := c.annotationsFor(v.Pkg().Path()).fields[v]
+	return ann, ok
+}
+
+// unitTypeName returns the units type name carrying a dimension when t
+// is one of the named quantity types.
+func unitTypeName(t types.Type) (string, bool) {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPkgPath {
+		return "", false
+	}
+	_, ok = unitDims[obj.Name()]
+	return obj.Name(), ok
+}
+
+func isFloat64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+// ---------------------------------------------------------------------
+// Dimension derivation
+// ---------------------------------------------------------------------
+
+// dimOf derives the dimension of e, or unknown. It is side-effect
+// free; all reporting happens in the check walk.
+func (c *dimChecker) dimOf(e ast.Expr) dimResult {
+	tv, ok := c.info.Types[e]
+	if !ok || tv.Value != nil {
+		// Untyped and typed constants are dimensionally polymorphic
+		// (2*t scales a time; the 2 carries no dimension of its own).
+		return unknownDim
+	}
+	if name, ok := unitTypeName(tv.Type); ok {
+		return knownDim(unitDims[name])
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return c.dimOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return c.dimOf(x.X)
+		}
+	case *ast.Ident:
+		if obj := c.info.ObjectOf(x); obj != nil {
+			if r, ok := c.env[obj]; ok {
+				return r
+			}
+		}
+	case *ast.SelectorExpr:
+		if v, ok := c.info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			if ann, ok := c.fieldAnn(v); ok && !ann.anyDim {
+				return knownDim(ann.d)
+			}
+		}
+	case *ast.CallExpr:
+		return c.dimOfCall(x)
+	case *ast.BinaryExpr:
+		return c.dimOfBinary(x)
+	}
+	return unknownDim
+}
+
+// dimOfCall handles conversions, unit accessors, the dimension-aware
+// math functions, and module-local function summaries.
+func (c *dimChecker) dimOfCall(call *ast.CallExpr) dimResult {
+	if target, ok := isConversion(c.info, call); ok {
+		// Conversions to a units type were already resolved by the
+		// static-type rule; a float conversion is dimensionally
+		// transparent.
+		if len(call.Args) == 1 && underlyingFloat(target) {
+			return c.dimOf(call.Args[0])
+		}
+		return unknownDim
+	}
+	fn := calleeFunc(c.info, call)
+	if fn == nil {
+		return unknownDim
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+		return c.dimOfMathCall(fn.Name(), call)
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() != 1 || !isFloat64(sig.Results().At(0).Type()) {
+		return unknownDim
+	}
+	if recv := sig.Recv(); recv != nil {
+		// A nullary float64 method on a units type is a named
+		// accessor: the result carries the receiver's dimension.
+		if name, ok := unitTypeName(recv.Type()); ok && sig.Params().Len() == 0 {
+			return knownDim(unitDims[name])
+		}
+	}
+	if ann, ok := c.funcAnn(fn); ok {
+		if ann.anyDim {
+			return unknownDim
+		}
+		return knownDim(ann.d)
+	}
+	return c.summaryOf(fn)
+}
+
+// dimOfMathCall gives the handful of stdlib math functions their
+// dimensional meaning. Everything else (Log, Exp, Pow, …) is opaque:
+// its arguments should be dimensionless ratios, and its result derives
+// nothing.
+func (c *dimChecker) dimOfMathCall(name string, call *ast.CallExpr) dimResult {
+	switch name {
+	case "Max", "Min":
+		res := unknownDim
+		for _, arg := range call.Args {
+			if isConstExpr(c.info, arg) {
+				continue
+			}
+			r := c.dimOf(arg)
+			if !r.known {
+				return unknownDim
+			}
+			if res.known && res.d != r.d {
+				return unknownDim // mismatch; reported by the check walk
+			}
+			res = r
+		}
+		return res
+	case "Abs", "Floor", "Ceil", "Round", "Trunc", "Mod":
+		if len(call.Args) >= 1 {
+			return c.dimOf(call.Args[0])
+		}
+	case "Sqrt":
+		if len(call.Args) == 1 {
+			if r := c.dimOf(call.Args[0]); r.known {
+				if h, ok := r.d.Halve(); ok {
+					return knownDim(h)
+				}
+			}
+		}
+	}
+	return unknownDim
+}
+
+// dimOfBinary derives +, -, *, / results. Constants adopt the other
+// side's dimension; mismatched additions derive nothing (the check
+// walk reports them once, at the offending node).
+func (c *dimChecker) dimOfBinary(b *ast.BinaryExpr) dimResult {
+	xc, yc := isConstExpr(c.info, b.X), isConstExpr(c.info, b.Y)
+	var dx, dy dimResult
+	if !xc {
+		dx = c.dimOf(b.X)
+	}
+	if !yc {
+		dy = c.dimOf(b.Y)
+	}
+	switch b.Op {
+	case token.ADD, token.SUB:
+		switch {
+		case xc && yc:
+			return unknownDim
+		case xc:
+			return dy
+		case yc:
+			return dx
+		case dx.known && dy.known && dx.d == dy.d:
+			return dx
+		}
+	case token.MUL:
+		switch {
+		case xc && yc:
+			return unknownDim
+		case xc:
+			return dy
+		case yc:
+			return dx
+		case dx.known && dy.known:
+			return knownDim(dx.d.Mul(dy.d))
+		}
+	case token.QUO:
+		switch {
+		case xc && yc:
+			return unknownDim
+		case xc: // 1/x inverts the dimension
+			if dy.known {
+				return knownDim(dy.d.Inv())
+			}
+		case yc:
+			return dx
+		case dx.known && dy.known:
+			return knownDim(dx.d.Div(dy.d))
+		}
+	}
+	return unknownDim
+}
+
+// summaryOf derives the result dimension of a module-local float64
+// function from its body: if every return statement derives the same
+// dimension, call sites adopt it. This is the cross-function,
+// cross-package leg of the dataflow.
+func (c *dimChecker) summaryOf(fn *types.Func) dimResult {
+	if r, ok := c.facts.summaries[fn]; ok {
+		return r
+	}
+	if c.facts.inProgress[fn] || fn.Pkg() == nil || c.dep == nil {
+		return unknownDim
+	}
+	p := c.dep(fn.Pkg().Path())
+	if p == nil {
+		c.facts.summaries[fn] = unknownDim
+		return unknownDim
+	}
+	decl := c.declFor(p, fn)
+	if decl == nil || decl.Body == nil {
+		c.facts.summaries[fn] = unknownDim
+		return unknownDim
+	}
+	c.facts.inProgress[fn] = true
+	sub := &dimChecker{
+		info: p.Info, facts: c.facts, dep: c.dep,
+		env:      map[types.Object]dimResult{},
+		stripped: map[types.Object]string{},
+	}
+	r := sub.summarize(decl.Body)
+	delete(c.facts.inProgress, fn)
+	c.facts.summaries[fn] = r
+	return r
+}
+
+// declFor finds fn's FuncDecl in p, building p's index on first use.
+func (c *dimChecker) declFor(p *Package, fn *types.Func) *ast.FuncDecl {
+	idx, ok := c.facts.decls[p.Path]
+	if !ok {
+		idx = map[*types.Func]*ast.FuncDecl{}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if dfn, _ := p.Info.Defs[fd.Name].(*types.Func); dfn != nil {
+						idx[dfn] = fd
+					}
+				}
+			}
+		}
+		c.facts.decls[p.Path] = idx
+	}
+	return idx[fn]
+}
+
+// summarize walks a function body in source order, tracking float64
+// locals, and folds the dimensions of its return expressions.
+func (c *dimChecker) summarize(body *ast.BlockStmt) dimResult {
+	res := unknownDim
+	consistent := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !consistent {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A literal's returns are not the outer function's.
+			return false
+		case *ast.AssignStmt:
+			c.applyAssign(s)
+		case *ast.ReturnStmt:
+			if len(s.Results) != 1 {
+				consistent = false
+				return false
+			}
+			r := c.dimOf(s.Results[0])
+			if !r.known || (res.known && res.d != r.d) {
+				consistent = false
+				return false
+			}
+			res = r
+		}
+		return true
+	})
+	if !consistent {
+		return unknownDim
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------
+// Checks
+// ---------------------------------------------------------------------
+
+// checkBody runs the full rule set over one function.
+func (c *dimChecker) checkBody(body *ast.BlockStmt, parents map[ast.Node]ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			c.checkAssign(x)
+			c.applyAssign(x)
+		case *ast.BinaryExpr:
+			c.checkBinary(x)
+		case *ast.CallExpr:
+			c.checkCall(x)
+		case *ast.CompositeLit:
+			c.checkComposite(x)
+		}
+		return true
+	})
+}
+
+// dimLabel renders a dimension with its named units type when one
+// exists: "J/flop (units.EnergyPerFlop)".
+func dimLabel(d Dim) string {
+	if name, ok := namedUnitFor(d); ok {
+		return fmt.Sprintf("%s (units.%s)", d, name)
+	}
+	return d.String()
+}
+
+// checkBinary enforces like-dimension addition, subtraction, and
+// ordered comparison. ==/!= belong to floatcmp.
+func (c *dimChecker) checkBinary(b *ast.BinaryExpr) {
+	var verb string
+	switch b.Op {
+	case token.ADD:
+		verb = "adding"
+	case token.SUB:
+		verb = "subtracting"
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		verb = "comparing"
+	default:
+		return
+	}
+	if isConstExpr(c.info, b.X) || isConstExpr(c.info, b.Y) {
+		return
+	}
+	dx, dy := c.dimOf(b.X), c.dimOf(b.Y)
+	if !dx.known || !dy.known || dx.d == dy.d {
+		return
+	}
+	c.pass.Reportf(b.OpPos, "%s %s and %s: incompatible dimensions", verb, dimLabel(dx.d), dimLabel(dy.d))
+}
+
+// checkAssign covers op-assignment mismatches and the boundary rules
+// for field and map stores.
+func (c *dimChecker) checkAssign(a *ast.AssignStmt) {
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(a.Lhs) != 1 || len(a.Rhs) != 1 || isConstExpr(c.info, a.Rhs[0]) {
+			return
+		}
+		dl, dr := c.dimOf(a.Lhs[0]), c.dimOf(a.Rhs[0])
+		if dl.known && dr.known && dl.d != dr.d {
+			verb := "adding"
+			if a.Tok == token.SUB_ASSIGN {
+				verb = "subtracting"
+			}
+			c.pass.Reportf(a.TokPos, "%s %s and %s: incompatible dimensions", verb, dimLabel(dl.d), dimLabel(dr.d))
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return
+	}
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		rhs := a.Rhs[i]
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr:
+			if v, ok := c.info.Uses[l.Sel].(*types.Var); ok && v.IsField() {
+				c.checkFieldStore(v, rhs, c.structTagFor(l))
+			}
+		case *ast.IndexExpr:
+			c.checkIndexStore(l, rhs)
+		}
+	}
+}
+
+// structTagFor finds the struct tag of the field selected by sel, best
+// effort, so the diagnostic can call out JSON boundaries explicitly.
+func (c *dimChecker) structTagFor(sel *ast.SelectorExpr) string {
+	s, ok := c.info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	t := s.Recv()
+	for _, idx := range s.Index() {
+		t = derefType(t)
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		if idx >= st.NumFields() {
+			return ""
+		}
+		if st.Field(idx) == s.Obj() {
+			return st.Tag(idx)
+		}
+		t = st.Field(idx).Type()
+	}
+	return ""
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// checkFieldStore enforces the boundary rules for one struct-field
+// store: annotated fields must receive their declared dimension,
+// unnamed dimensions must not land raw, and derived units must cross
+// through accessors.
+func (c *dimChecker) checkFieldStore(field *types.Var, rhs ast.Expr, tag string) {
+	boundary := "struct field " + field.Name()
+	if strings.Contains(tag, "json:") {
+		boundary = "JSON field " + field.Name()
+	}
+	if ann, ok := c.fieldAnn(field); ok {
+		if ann.anyDim {
+			return
+		}
+		if r := c.dimOf(rhs); r.known && r.d != ann.d {
+			c.pass.Reportf(rhs.Pos(), "storing %s into %s declared //archlint:dim %s", dimLabel(r.d), boundary, ann.d)
+		}
+		return
+	}
+	if isFloat64(field.Type()) {
+		c.checkEscape(rhs, boundary)
+	}
+	if types.IsInterface(field.Type().Underlying()) {
+		c.checkInterfaceEscape(rhs, boundary)
+	}
+}
+
+// checkIndexStore enforces the same boundary rules for map stores.
+func (c *dimChecker) checkIndexStore(idx *ast.IndexExpr, rhs ast.Expr) {
+	tv, ok := c.info.Types[idx.X]
+	if !ok {
+		return
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	if isFloat64(m.Elem()) {
+		c.checkEscape(rhs, "map value")
+	}
+	if types.IsInterface(m.Elem().Underlying()) {
+		c.checkInterfaceEscape(rhs, "map value")
+	}
+}
+
+// checkComposite applies the boundary rules to composite-literal
+// elements: struct fields (keyed or positional) and map values.
+func (c *dimChecker) checkComposite(cl *ast.CompositeLit) {
+	tv, ok := c.info.Types[cl]
+	if !ok {
+		return
+	}
+	switch t := derefType(tv.Type).Underlying().(type) {
+	case *types.Struct:
+		for i, elt := range cl.Elts {
+			var field *types.Var
+			var value ast.Expr
+			var tag string
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				id, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				field, _ = c.info.Uses[id].(*types.Var)
+				value = kv.Value
+				for j := 0; j < t.NumFields(); j++ {
+					if t.Field(j) == field {
+						tag = t.Tag(j)
+					}
+				}
+			} else if i < t.NumFields() {
+				field, value, tag = t.Field(i), elt, t.Tag(i)
+			}
+			if field == nil || value == nil {
+				continue
+			}
+			c.checkFieldStore(field, value, tag)
+		}
+	case *types.Map:
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if isFloat64(t.Elem()) {
+				c.checkEscape(kv.Value, "map value")
+			}
+			if types.IsInterface(t.Elem().Underlying()) {
+				c.checkInterfaceEscape(kv.Value, "map value")
+			}
+		}
+	}
+}
+
+// checkCall covers units-conversion dimension mismatches, math.Max
+// mixing, and the escape rules at call arguments.
+func (c *dimChecker) checkCall(call *ast.CallExpr) {
+	if target, ok := isConversion(c.info, call); ok {
+		if name, ok := unitTypeName(target); ok && len(call.Args) == 1 && !isConstExpr(c.info, call.Args[0]) {
+			if r := c.dimOf(call.Args[0]); r.known && r.d != unitDims[name] {
+				c.pass.Reportf(call.Pos(), "converting a %s expression to units.%s (%s): dimensions disagree", r.d, name, unitDims[name])
+			}
+		}
+		return
+	}
+	fn := calleeFunc(c.info, call)
+	if fn == nil {
+		return // builtins and function-typed values
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+		c.checkMathMix(fn.Name(), call)
+		return
+	}
+	if fn.Pkg() != nil && calleePkgExempt[fn.Pkg().Path()] {
+		return
+	}
+	if _, ok := c.funcAnn(fn); ok {
+		return // declared sink: boundary is blessed
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		callee := fn.Name()
+		if fn.Pkg() != nil {
+			callee = fn.Pkg().Name() + "." + fn.Name()
+		}
+		if types.IsInterface(pt.Underlying()) {
+			c.checkInterfaceEscape(arg, "argument to "+callee)
+		}
+		if isFloat64(pt) {
+			c.checkEscape(arg, "argument to "+callee)
+		}
+	}
+}
+
+// checkMathMix reports math.Max/Min over incompatible dimensions — the
+// same mistake as adding them, wearing a function call.
+func (c *dimChecker) checkMathMix(name string, call *ast.CallExpr) {
+	if name != "Max" && name != "Min" {
+		return
+	}
+	seen := unknownDim
+	for _, arg := range call.Args {
+		if isConstExpr(c.info, arg) {
+			continue
+		}
+		r := c.dimOf(arg)
+		if !r.known {
+			return
+		}
+		if seen.known && seen.d != r.d {
+			c.pass.Reportf(call.Pos(), "math.%s mixes %s and %s: incompatible dimensions", name, dimLabel(seen.d), dimLabel(r.d))
+			return
+		}
+		seen = r
+	}
+}
+
+// checkInterfaceEscape flags a units-typed value boxed into an
+// interface: json encoding, %v formatting through non-fmt wrappers,
+// and reflection all see a bare number whose dimension is gone.
+func (c *dimChecker) checkInterfaceEscape(e ast.Expr, boundary string) {
+	tv, ok := c.info.Types[ast.Unparen(e)]
+	if !ok {
+		return
+	}
+	name, ok := unitTypeName(tv.Type)
+	if !ok {
+		return
+	}
+	c.pass.Reportf(e.Pos(), "units.%s escapes as a bare interface value (%s); strip it by name with .%s() or declare the sink with //archlint:dim", name, boundary, unitAccessors[name])
+}
+
+// checkEscape enforces the float64 boundary rules at e: an unnamed
+// derived dimension must not escape raw, and a derived units value
+// must escape through its accessor, not float64(...). Reported strips
+// carry a -fix rewrite to the accessor.
+func (c *dimChecker) checkEscape(e ast.Expr, boundary string) {
+	if unit, conv, ok := c.stripSource(e); ok {
+		if _, guarded := guardedUnits[unit]; guarded {
+			return // unitsafety already reports these conversions everywhere
+		}
+		c.pass.Reportf(e.Pos(), "float64(...) strips units.%s (%s); use .%s()", unit, boundary, unitAccessors[unit])
+		if conv != nil {
+			c.fixStrip(conv, unit)
+		}
+		return
+	}
+	r := c.dimOf(e)
+	if !r.known || r.d.IsZero() {
+		return
+	}
+	if _, named := namedUnitFor(r.d); named {
+		// A named dimension built in the open (e.Joules()/t.Seconds())
+		// stays readable at the boundary; only raw strips are flagged.
+		return
+	}
+	c.pass.Reportf(e.Pos(), "expression of dimension %s escapes (%s) but no units type names it; wrap the result or declare the sink with //archlint:dim", r.d, boundary)
+}
+
+// stripSource reports whether e is (up to parens, sign, and scaling by
+// constants) a bare float64(unitValue) conversion or a local variable
+// initialized from one. conv is the conversion call when it is in this
+// expression (eligible for -fix).
+func (c *dimChecker) stripSource(e ast.Expr) (unit string, conv *ast.CallExpr, ok bool) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return c.stripSource(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return c.stripSource(x.X)
+		}
+	case *ast.BinaryExpr:
+		if x.Op != token.MUL && x.Op != token.QUO {
+			return "", nil, false
+		}
+		if isConstExpr(c.info, x.Y) {
+			return c.stripSource(x.X)
+		}
+		if isConstExpr(c.info, x.X) && x.Op == token.MUL {
+			return c.stripSource(x.Y)
+		}
+	case *ast.Ident:
+		if obj := c.info.ObjectOf(x); obj != nil {
+			if unit, ok := c.stripped[obj]; ok {
+				return unit, nil, true
+			}
+		}
+	case *ast.CallExpr:
+		target, isConv := isConversion(c.info, x)
+		if !isConv || len(x.Args) != 1 || !isFloat64(target) {
+			return "", nil, false
+		}
+		tv, ok := c.info.Types[x.Args[0]]
+		if !ok || tv.Value != nil {
+			return "", nil, false
+		}
+		if name, ok := unitTypeName(tv.Type); ok {
+			return name, x, true
+		}
+	}
+	return "", nil, false
+}
+
+// fixStrip rewrites float64(x) to x.<Accessor>(), mirroring
+// unitsafety's fix for the guarded types.
+func (c *dimChecker) fixStrip(conv *ast.CallExpr, unit string) {
+	operand := ast.Unparen(conv.Args[0])
+	text := c.pass.ExprText(operand)
+	if text == "" {
+		return
+	}
+	switch operand.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr, *ast.IndexExpr:
+		// Postfix method call binds directly.
+	default:
+		text = "(" + text + ")"
+	}
+	c.pass.Edit(conv.Pos(), conv.End(), text+"."+unitAccessors[unit]+"()")
+}
+
+// applyAssign updates the per-function dataflow environment after an
+// assignment statement, in source order.
+func (c *dimChecker) applyAssign(a *ast.AssignStmt) {
+	set := func(lhs ast.Expr, update func(obj types.Object)) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := c.info.ObjectOf(id)
+		if obj == nil || !isFloat64(obj.Type()) {
+			return
+		}
+		update(obj)
+	}
+	switch a.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(a.Lhs) != len(a.Rhs) {
+			// Multi-value assignment: anything previously known about
+			// the targets is no longer trustworthy.
+			for _, lhs := range a.Lhs {
+				set(lhs, func(obj types.Object) {
+					delete(c.env, obj)
+					delete(c.stripped, obj)
+				})
+			}
+			return
+		}
+		for i, lhs := range a.Lhs {
+			rhs := a.Rhs[i]
+			set(lhs, func(obj types.Object) {
+				if r := c.dimOf(rhs); r.known {
+					c.env[obj] = r
+				} else {
+					delete(c.env, obj)
+				}
+				if unit, _, ok := c.stripSource(rhs); ok {
+					c.stripped[obj] = unit
+				} else {
+					delete(c.stripped, obj)
+				}
+			})
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+			return
+		}
+		set(a.Lhs[0], func(obj types.Object) {
+			if _, ok := c.env[obj]; ok {
+				return // same dimension by the addition rule
+			}
+			if r := c.dimOf(a.Rhs[0]); r.known && !isConstExpr(c.info, a.Rhs[0]) {
+				c.env[obj] = r
+			}
+		})
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+			return
+		}
+		set(a.Lhs[0], func(obj types.Object) {
+			cur, ok := c.env[obj]
+			if !ok {
+				return
+			}
+			if isConstExpr(c.info, a.Rhs[0]) {
+				return
+			}
+			r := c.dimOf(a.Rhs[0])
+			if !r.known {
+				delete(c.env, obj)
+				delete(c.stripped, obj)
+				return
+			}
+			if a.Tok == token.MUL_ASSIGN {
+				c.env[obj] = knownDim(cur.d.Mul(r.d))
+			} else {
+				c.env[obj] = knownDim(cur.d.Div(r.d))
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDimCheckInSuite pins dimcheck into the default suite: the repo
+// gate (TestRepoIsClean), `make check`, and scripts/check.sh all run
+// All(), so membership here is what keeps the tree dimensionally clean.
+func TestDimCheckInSuite(t *testing.T) {
+	if _, ok := ByName("dimcheck"); !ok {
+		t.Fatal("dimcheck is not registered")
+	}
+	found := false
+	for _, a := range All() {
+		if a == DimCheck {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dimcheck is not in the default analyzer suite")
+	}
+}
+
+// TestDimFixRoundTrip applies dimcheck's -fix to a scratch fixture of
+// mechanical strip escapes and verifies the loop closes: zero findings
+// remain, and a second -fix run is a byte-stable no-op.
+func TestDimFixRoundTrip(t *testing.T) {
+	dir := writeTempFixture(t, "dimfix", `package dimfix
+
+import "archline/internal/units"
+
+type out struct {
+	Gflops float64 `+"`"+`json:"gflops"`+"`"+`
+	GBs    float64 `+"`"+`json:"gbs"`+"`"+`
+	PJ     float64 `+"`"+`json:"pj"`+"`"+`
+}
+
+func encode(r units.FlopRate, b units.ByteRate, e units.EnergyPerFlop) out {
+	return out{
+		Gflops: float64(r) / 1e9,
+		GBs:    float64(b) / 1e9,
+		PJ:     float64(e) * 1e12,
+	}
+}
+`)
+	cfg := Config{Dir: dir, Patterns: []string{"."}, Enable: []string{"dimcheck"}}
+
+	fixCfg := cfg
+	fixCfg.Fix = true
+	res, err := Run(fixCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsuppressed()) != 3 {
+		t.Fatalf("want 3 strip findings before fix, got %v", res.Diags)
+	}
+	if len(res.FixedFiles) != 1 {
+		t.Fatalf("want 1 fixed file, got %v", res.FixedFiles)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "fixture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".FlopsPerSec()", ".BytesPerSec()", ".JoulesPerFlop()"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %s", want)
+		}
+	}
+
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("fixed fixture no longer loads: %v", err)
+	}
+	if diags := res2.Unsuppressed(); len(diags) != 0 {
+		t.Fatalf("findings survive -fix: %v", diags)
+	}
+
+	// A second fix pass must change nothing: the rewrite is idempotent.
+	res3, err := Run(fixCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.FixedFiles) != 0 {
+		t.Errorf("second -fix run rewrote files: %v", res3.FixedFiles)
+	}
+	again, err := os.ReadFile(filepath.Join(dir, "fixture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(fixed) {
+		t.Error("second -fix run was not byte-stable")
+	}
+}
+
+// TestDimSuppression checks that a reasoned //archlint:ignore dimcheck
+// suppresses a dimensional finding the usual way.
+func TestDimSuppression(t *testing.T) {
+	dir := writeTempFixture(t, "dimsuppress", `package dimsuppress
+
+import "archline/internal/units"
+
+func mix(e units.Energy, t units.Time) float64 {
+	//archlint:ignore dimcheck deliberate apples-to-oranges for a sentinel
+	return e.Joules() + t.Seconds()
+}
+`)
+	res, err := Run(Config{Dir: dir, Patterns: []string{"."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un := res.Unsuppressed(); len(un) != 0 {
+		t.Fatalf("want the finding suppressed, got %v", un)
+	}
+	if len(res.Diags) != 1 || !res.Diags[0].Suppressed {
+		t.Fatalf("want exactly 1 suppressed dimcheck finding, got %v", res.Diags)
+	}
+}
+
+// TestStaleSuppression checks that an //archlint:ignore which no longer
+// suppresses anything is itself reported — and stays dormant, not
+// stale, when its analyzer is disabled.
+func TestStaleSuppression(t *testing.T) {
+	src := `package stale
+
+func half(t float64) float64 {
+	//archlint:ignore floatcmp the comparison this guarded was refactored away
+	return t / 2
+}
+`
+	dir := writeTempFixture(t, "stale", src)
+	res, err := Run(Config{Dir: dir, Patterns: []string{"."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := res.Unsuppressed()
+	if len(diags) != 1 || diags[0].Analyzer != "archlint" || !strings.Contains(diags[0].Message, "stale") {
+		t.Fatalf("want exactly 1 stale-directive diagnostic, got %v", diags)
+	}
+
+	res2, err := Run(Config{Dir: dir, Patterns: []string{"."}, Disable: []string{"floatcmp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := res2.Unsuppressed(); len(diags) != 0 {
+		t.Fatalf("directive for a disabled analyzer must be dormant, got %v", diags)
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dim is a dimension vector over the model's base dimensions: the
+// exponents of time, energy, flop, byte, and access. Every quantity in
+// internal/units is a product of integer powers of these five bases —
+// Power is energy·time⁻¹, Intensity is flop·byte⁻¹ — so dimensional
+// consistency of an arithmetic expression reduces to integer vector
+// addition, which is what makes a static analyzer feasible where the
+// type system gives up (raw float64 arithmetic on accessor results).
+type Dim struct {
+	Time, Energy, Flop, Byte, Access int8
+}
+
+// IsZero reports whether d is dimensionless.
+func (d Dim) IsZero() bool { return d == Dim{} }
+
+// Mul returns the dimension of a product: exponents add.
+func (d Dim) Mul(o Dim) Dim {
+	return Dim{
+		Time:   d.Time + o.Time,
+		Energy: d.Energy + o.Energy,
+		Flop:   d.Flop + o.Flop,
+		Byte:   d.Byte + o.Byte,
+		Access: d.Access + o.Access,
+	}
+}
+
+// Div returns the dimension of a quotient: exponents subtract.
+func (d Dim) Div(o Dim) Dim {
+	return Dim{
+		Time:   d.Time - o.Time,
+		Energy: d.Energy - o.Energy,
+		Flop:   d.Flop - o.Flop,
+		Byte:   d.Byte - o.Byte,
+		Access: d.Access - o.Access,
+	}
+}
+
+// Inv returns the dimension of a reciprocal.
+func (d Dim) Inv() Dim { return Dim{}.Div(d) }
+
+// Halve returns the dimension of a square root and whether it exists
+// (every exponent must be even).
+func (d Dim) Halve() (Dim, bool) {
+	if d.Time%2 != 0 || d.Energy%2 != 0 || d.Flop%2 != 0 || d.Byte%2 != 0 || d.Access%2 != 0 {
+		return Dim{}, false
+	}
+	return Dim{d.Time / 2, d.Energy / 2, d.Flop / 2, d.Byte / 2, d.Access / 2}, true
+}
+
+// dimBase is one base dimension's display symbol and accessor to the
+// vector component.
+type dimBase struct {
+	sym string
+	get func(Dim) int8
+}
+
+// dimBases fixes the display order of base symbols.
+var dimBases = []dimBase{
+	{"J", func(d Dim) int8 { return d.Energy }},
+	{"flop", func(d Dim) int8 { return d.Flop }},
+	{"B", func(d Dim) int8 { return d.Byte }},
+	{"acc", func(d Dim) int8 { return d.Access }},
+	{"s", func(d Dim) int8 { return d.Time }},
+}
+
+// String renders the dimension in conventional unit notation: "J/flop",
+// "s^2", "1/s", "flop/(B·s)". Dimensionless renders as "1".
+func (d Dim) String() string {
+	var num, den []string
+	for _, b := range dimBases {
+		switch e := b.get(d); {
+		case e == 1:
+			num = append(num, b.sym)
+		case e > 1:
+			num = append(num, fmt.Sprintf("%s^%d", b.sym, e))
+		case e == -1:
+			den = append(den, b.sym)
+		case e < -1:
+			den = append(den, fmt.Sprintf("%s^%d", b.sym, -e))
+		}
+	}
+	n := "1"
+	if len(num) > 0 {
+		n = strings.Join(num, "·")
+	}
+	switch len(den) {
+	case 0:
+		return n
+	case 1:
+		return n + "/" + den[0]
+	default:
+		return n + "/(" + strings.Join(den, "·") + ")"
+	}
+}
+
+// unitDims assigns every named quantity type in internal/units its
+// dimension vector. This is the analyzer's ground truth: an expression
+// whose static type is one of these carries the dimension, and accessor
+// calls (.Seconds(), .JoulesPerFlop(), …) propagate it onto the raw
+// float64 result.
+var unitDims = map[string]Dim{
+	"Time":            {Time: 1},
+	"Energy":          {Energy: 1},
+	"Power":           {Energy: 1, Time: -1},
+	"Flops":           {Flop: 1},
+	"Bytes":           {Byte: 1},
+	"Accesses":        {Access: 1},
+	"Intensity":       {Flop: 1, Byte: -1},
+	"FlopRate":        {Flop: 1, Time: -1},
+	"ByteRate":        {Byte: 1, Time: -1},
+	"AccessRate":      {Access: 1, Time: -1},
+	"TimePerFlop":     {Time: 1, Flop: -1},
+	"TimePerByte":     {Time: 1, Byte: -1},
+	"EnergyPerFlop":   {Energy: 1, Flop: -1},
+	"EnergyPerByte":   {Energy: 1, Byte: -1},
+	"EnergyPerAccess": {Energy: 1, Access: -1},
+	"FlopsPerJoule":   {Flop: 1, Energy: -1},
+	"BytesPerJoule":   {Byte: 1, Energy: -1},
+}
+
+// unitAccessors maps each units type to the accessor method that strips
+// it by name. It extends unitsafety's guardedUnits table to the derived
+// quantity types, whose escapes dimcheck polices at boundaries.
+var unitAccessors = map[string]string{
+	"Time":            "Seconds",
+	"Energy":          "Joules",
+	"Power":           "Watts",
+	"Flops":           "Count",
+	"Bytes":           "Count",
+	"Accesses":        "Count",
+	"Intensity":       "Ratio",
+	"FlopRate":        "FlopsPerSec",
+	"ByteRate":        "BytesPerSec",
+	"AccessRate":      "AccessesPerSec",
+	"TimePerFlop":     "SecondsPerFlop",
+	"TimePerByte":     "SecondsPerByte",
+	"EnergyPerFlop":   "JoulesPerFlop",
+	"EnergyPerByte":   "JoulesPerByte",
+	"EnergyPerAccess": "JoulesPerAccess",
+	"FlopsPerJoule":   "FlopsPerJoule",
+	"BytesPerJoule":   "BytesPerJoule",
+}
+
+// dimToUnit is the reverse of unitDims, mapping a dimension vector back
+// to the named units type spelling it. Built once at init; the forward
+// table is injective, which dimsConsistent verifies in tests.
+var dimToUnit = func() map[Dim]string {
+	m := map[Dim]string{}
+	for name, d := range unitDims {
+		if prev, ok := m[d]; ok {
+			panic("lint: units " + prev + " and " + name + " share a dimension")
+		}
+		m[d] = name
+	}
+	return m
+}()
+
+// namedUnitFor returns the units type naming dimension d, if any.
+func namedUnitFor(d Dim) (string, bool) {
+	name, ok := dimToUnit[d]
+	return name, ok
+}
+
+// baseDims lets //archlint:dim expressions spell raw base dimensions as
+// well as named units types.
+var baseDims = map[string]Dim{
+	"time":   {Time: 1},
+	"energy": {Energy: 1},
+	"flop":   {Flop: 1},
+	"byte":   {Byte: 1},
+	"access": {Access: 1},
+}
+
+// ParseDimExpr parses the unit grammar of an //archlint:dim directive:
+//
+//	unit      = "any" | "dimensionless" | "1" | term { ("*" | "/") term } .
+//	term      = name [ "^" int ] .
+//	name      = units type ("Power") | base dimension ("energy") .
+//
+// It returns the dimension, whether the directive opts out of checking
+// entirely ("any"), and whether the expression parsed.
+func ParseDimExpr(s string) (d Dim, anyDim bool, ok bool) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "":
+		return Dim{}, false, false
+	case "any":
+		return Dim{}, true, true
+	case "dimensionless", "1":
+		return Dim{}, false, true
+	}
+	// Walk term by term, applying the operator that precedes each.
+	div := false
+	for {
+		i := strings.IndexAny(s, "*/")
+		term := s
+		if i >= 0 {
+			term = s[:i]
+		}
+		td, tok := parseDimTerm(strings.TrimSpace(term))
+		if !tok {
+			return Dim{}, false, false
+		}
+		if div {
+			d = d.Div(td)
+		} else {
+			d = d.Mul(td)
+		}
+		if i < 0 {
+			return d, false, true
+		}
+		div = s[i] == '/'
+		s = s[i+1:]
+	}
+}
+
+// parseDimTerm parses one name[^exp] term.
+func parseDimTerm(t string) (Dim, bool) {
+	name, expStr, hasExp := strings.Cut(t, "^")
+	name = strings.TrimSpace(name)
+	d, ok := unitDims[name]
+	if !ok {
+		d, ok = baseDims[name]
+	}
+	if !ok || name == "" {
+		return Dim{}, false
+	}
+	if !hasExp {
+		return d, true
+	}
+	exp, err := strconv.Atoi(strings.TrimSpace(expStr))
+	if err != nil || exp < -8 || exp > 8 {
+		return Dim{}, false
+	}
+	out := Dim{}
+	for i := 0; i < exp; i++ {
+		out = out.Mul(d)
+	}
+	for i := 0; i > exp; i-- {
+		out = out.Div(d)
+	}
+	return out, true
+}

@@ -1,0 +1,103 @@
+package lint
+
+import "testing"
+
+// TestDimAlgebra exercises the vector algebra against the identities
+// the paper's bookkeeping relies on: eps/tau is a power, pi*T is an
+// energy, W/Q is an intensity.
+func TestDimAlgebra(t *testing.T) {
+	eps := unitDims["EnergyPerFlop"]
+	tau := unitDims["TimePerFlop"]
+	if got := eps.Div(tau); got != unitDims["Power"] {
+		t.Errorf("eps/tau = %v, want Power", got)
+	}
+	if got := unitDims["Power"].Mul(unitDims["Time"]); got != unitDims["Energy"] {
+		t.Errorf("pi*T = %v, want Energy", got)
+	}
+	if got := unitDims["Flops"].Div(unitDims["Bytes"]); got != unitDims["Intensity"] {
+		t.Errorf("W/Q = %v, want Intensity", got)
+	}
+	if got := unitDims["FlopRate"].Inv(); got != unitDims["TimePerFlop"] {
+		t.Errorf("1/FlopRate = %v, want TimePerFlop", got)
+	}
+	sq := unitDims["Time"].Mul(unitDims["Time"])
+	if half, ok := sq.Halve(); !ok || half != unitDims["Time"] {
+		t.Errorf("sqrt(s^2) = %v (ok=%v), want Time", half, ok)
+	}
+	if _, ok := unitDims["Time"].Halve(); ok {
+		t.Error("sqrt(s) should have no integer dimension")
+	}
+}
+
+// TestDimString checks the conventional rendering used in diagnostics.
+func TestDimString(t *testing.T) {
+	cases := []struct {
+		d    Dim
+		want string
+	}{
+		{Dim{}, "1"},
+		{unitDims["Time"], "s"},
+		{unitDims["Power"], "J/s"},
+		{unitDims["EnergyPerFlop"], "J/flop"},
+		{unitDims["Intensity"], "flop/B"},
+		{unitDims["Time"].Mul(unitDims["Time"]), "s^2"},
+		{unitDims["Time"].Inv(), "1/s"},
+		{unitDims["FlopRate"].Div(unitDims["Bytes"]), "flop/(B·s)"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestDimTablesAgree checks that every units type with a dimension also
+// names an accessor, and that every accessor names a known type, so the
+// analyzer's fix suggestions never dangle.
+func TestDimTablesAgree(t *testing.T) {
+	for name := range unitDims {
+		if _, ok := unitAccessors[name]; !ok {
+			t.Errorf("units.%s has a dimension but no accessor", name)
+		}
+	}
+	for name := range unitAccessors {
+		if _, ok := unitDims[name]; !ok {
+			t.Errorf("accessor table names unknown units type %s", name)
+		}
+	}
+}
+
+// TestParseDimExpr exercises the //archlint:dim grammar.
+func TestParseDimExpr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Dim
+		any  bool
+		ok   bool
+	}{
+		{"Power", unitDims["Power"], false, true},
+		{"energy/time", unitDims["Power"], false, true},
+		{"Energy/Time", unitDims["Power"], false, true},
+		{"Energy*Time", Dim{Energy: 1, Time: 1}, false, true},
+		{"Time^2", Dim{Time: 2}, false, true},
+		{"flop/byte", unitDims["Intensity"], false, true},
+		{"Flops/Bytes", unitDims["Intensity"], false, true},
+		{"time^-1", Dim{Time: -1}, false, true},
+		{"EnergyPerFlop", unitDims["EnergyPerFlop"], false, true},
+		{"dimensionless", Dim{}, false, true},
+		{"1", Dim{}, false, true},
+		{"any", Dim{}, true, true},
+		{"", Dim{}, false, false},
+		{"Watts", Dim{}, false, false},
+		{"Energy/", Dim{}, false, false},
+		{"Energy/Time/nosuch", Dim{}, false, false},
+		{"Time^x", Dim{}, false, false},
+	}
+	for _, c := range cases {
+		d, anyDim, ok := ParseDimExpr(c.in)
+		if ok != c.ok || anyDim != c.any || (ok && !anyDim && d != c.want) {
+			t.Errorf("ParseDimExpr(%q) = (%v, any=%v, ok=%v), want (%v, any=%v, ok=%v)",
+				c.in, d, anyDim, ok, c.want, c.any, c.ok)
+		}
+	}
+}

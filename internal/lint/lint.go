@@ -69,6 +69,17 @@ type Pass struct {
 	// Src maps a file path to its raw bytes (for fix-mode edits and
 	// source extraction).
 	Src map[string][]byte
+	// Dep resolves an already-loaded module-local package by import
+	// path (nil outside a driver Run, or when the package was never
+	// imported). Cross-function analyzers use it to read the ASTs of
+	// dependency packages — every package the current one imports is
+	// guaranteed loaded, because the loader type-checks from source.
+	Dep func(path string) *Package
+	// Facts is a scratch store shared by all packages and analyzers of
+	// one Run. Analyzers key it with unexported types of their own so
+	// cross-package caches (e.g. dimcheck's function summaries) survive
+	// from one package's pass to the next.
+	Facts map[any]any
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
@@ -133,6 +144,7 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		UnitSafety,
+		DimCheck,
 		FloatCmp,
 		MapOrder,
 		ErrDrop,
@@ -155,8 +167,14 @@ func ByName(name string) (*Analyzer, bool) {
 // directive is one parsed //archlint:ignore comment.
 type directive struct {
 	line     int
+	col      int
 	analyzer string
 	reason   string
+	// used records whether the directive suppressed at least one
+	// diagnostic in this run; an unused directive for an active
+	// analyzer is itself reported, so suppressions cannot outlive the
+	// findings they were written for.
+	used bool
 }
 
 const directivePrefix = "archlint:ignore"
@@ -202,6 +220,7 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) (map[string][]dir
 				}
 				byFile[pos.Filename] = append(byFile[pos.Filename], directive{
 					line:     pos.Line,
+					col:      pos.Column,
 					analyzer: name,
 					reason:   reason,
 				})
@@ -212,21 +231,55 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) (map[string][]dir
 }
 
 // applySuppressions marks diagnostics covered by a directive on the
-// same line or the line immediately above.
+// same line or the line immediately above, and marks the directives it
+// consumed so staleDirectives can report the leftovers.
 func applySuppressions(diags []Diagnostic, byFile map[string][]directive) {
 	for i := range diags {
 		d := &diags[i]
-		for _, dir := range byFile[d.File] {
+		for j := range byFile[d.File] {
+			dir := &byFile[d.File][j]
 			if dir.analyzer != d.Analyzer {
 				continue
 			}
 			if dir.line == d.Line || dir.line == d.Line-1 {
 				d.Suppressed = true
 				d.Reason = dir.reason
+				dir.used = true
 				break
 			}
 		}
 	}
+}
+
+// staleDirectives reports every well-formed //archlint:ignore that
+// suppressed nothing, restricted to analyzers that actually ran — a
+// directive for a disabled analyzer is dormant, not stale. Stale
+// suppressions are the rot this check prevents: as analyzers sharpen,
+// an ignore can outlive its finding and then silently swallow the next
+// real one on that line.
+func staleDirectives(byFile map[string][]directive, active map[string]bool) []Diagnostic {
+	files := make([]string, 0, len(byFile))
+	for file := range byFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	var out []Diagnostic
+	for _, file := range files {
+		for _, dir := range byFile[file] {
+			if dir.used || !active[dir.analyzer] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "archlint",
+				File:     file,
+				Line:     dir.line,
+				Col:      dir.col,
+				Message: fmt.Sprintf("stale //archlint:ignore %s: no %s finding on this or the next line; delete the directive",
+					dir.analyzer, dir.analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // sortDiagnostics orders diagnostics by file, line, column, analyzer.

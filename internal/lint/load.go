@@ -114,6 +114,14 @@ func (l *Loader) dirFor(path string) string {
 	return filepath.Join(l.Root, filepath.FromSlash(rel))
 }
 
+// Loaded returns the already-loaded package at the given import path,
+// or nil. It never triggers a load: analyzers may only reach packages
+// the current analysis target (transitively) imports, which the loader
+// has necessarily already checked.
+func (l *Loader) Loaded(path string) *Package {
+	return l.pkgs[path]
+}
+
 // Import implements types.Importer: module-local paths load from the
 // module tree; everything else falls through to the source importer.
 func (l *Loader) Import(path string) (*types.Package, error) {

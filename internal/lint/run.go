@@ -139,6 +139,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	active := map[string]bool{}
+	for _, a := range suite {
+		active[a.Name] = true
+	}
+	facts := map[any]any{}
 	var diags []Diagnostic
 	var edits []TextEdit
 	for _, pkgDir := range dirs {
@@ -156,6 +161,8 @@ func Run(cfg Config) (*Result, error) {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Src:      pkg.Src,
+				Dep:      loader.Loaded,
+				Facts:    facts,
 				analyzer: a,
 				diags:    &pkgDiags,
 				edits:    &edits,
@@ -164,6 +171,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		applySuppressions(pkgDiags, byFile)
 		diags = append(diags, pkgDiags...)
+		diags = append(diags, staleDirectives(byFile, active)...)
 	}
 	res := &Result{}
 	for _, d := range diags {

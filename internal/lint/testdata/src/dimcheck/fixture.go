@@ -1,0 +1,105 @@
+// Package dimcheck is an archlint test fixture: dimensionally
+// inconsistent fitted-constant arithmetic, unnamed result dimensions
+// escaping raw, and unit-stripping escapes, next to clean physics that
+// must not be flagged.
+package dimcheck
+
+import (
+	"archline/internal/units"
+)
+
+// metric is a JSON envelope: raw float64 boundaries where derived
+// units must cross through their named accessors.
+type metric struct {
+	Gflops float64 `json:"gflops"`
+	S2     float64 `json:"s2"`
+}
+
+// sample declares its field's dimension; stores are checked against it.
+type sample struct {
+	// Draw is the sustained draw.
+	//archlint:dim Power
+	Draw float64
+}
+
+// record accepts any dimensioned scalar for a trace buffer.
+//
+//archlint:dim any
+func record(v float64) float64 { return v }
+
+// consume is an ordinary sink: unnamed dimensions may not land here.
+func consume(v float64) float64 { return v }
+
+// leak returns joules-per-flop as a raw float64; callers inherit the
+// dimension through the function summary.
+func leak(eps units.EnergyPerFlop) float64 {
+	return eps.JoulesPerFlop() * 2
+}
+
+// Bad: the paper's eps (J/flop) and pi (W) are different quantities
+// even though both accessors return float64.
+func addMismatch(eps units.EnergyPerFlop, pi units.Power) float64 {
+	return eps.JoulesPerFlop() + pi.Watts()
+}
+
+// Bad: ordered comparison across dimensions is as meaningless as
+// addition.
+func compareMismatch(t units.Time, e units.Energy) bool {
+	return t.Seconds() > e.Joules()
+}
+
+// Bad: the mismatch survives locals and a function call.
+func summaryMismatch(eps units.EnergyPerFlop, pi units.Power) float64 {
+	w := pi.Watts()
+	return leak(eps) + w
+}
+
+// Bad: a joule value is not a power; the conversion lies.
+func convertMismatch(e units.Energy) units.Power {
+	return units.Power(e.Joules())
+}
+
+// Bad: seconds-squared names no units type and escapes raw.
+func unnamedEscape(t units.Time) metric {
+	s2 := t.Seconds() * t.Seconds()
+	consume(s2)
+	return metric{S2: s2}
+}
+
+// Bad: float64(...) strips the derived rate at a JSON boundary.
+func stripEscape(r units.FlopRate) metric {
+	return metric{Gflops: float64(r) / 1e9}
+}
+
+// Bad: boxing the typed value loses the dimension to reflection.
+func interfaceEscape(r units.FlopRate) map[string]any {
+	return map[string]any{"rate": r}
+}
+
+// Bad: the annotated field declares W but receives J.
+func annotatedMismatch(e units.Energy) sample {
+	return sample{Draw: e.Joules()}
+}
+
+//archlint:dim Watts
+func malformed(v float64) float64 { return v }
+
+// Clean: energy over time is a power, by derivation and by name.
+func cleanPower(e units.Energy, t units.Time) units.Power {
+	return units.Power(e.Joules() / t.Seconds())
+}
+
+// Clean: the blessed sink takes any dimension, including s^2.
+func cleanBlessed(t units.Time) float64 {
+	return record(t.Seconds() * t.Seconds())
+}
+
+// Clean: the annotated field receives exactly its declared dimension.
+func cleanAnnotated(e units.Energy, t units.Time) sample {
+	return sample{Draw: e.Joules() / t.Seconds()}
+}
+
+// Clean: constants are dimensionless scale factors, not mismatches.
+func cleanScale(t units.Time) float64 {
+	return 2*t.Seconds() + 1e-9
+}

@@ -21,6 +21,11 @@ func badCounts(w units.Flops, q units.Bytes, i units.Intensity) float64 {
 	return float64(w)/float64(q) + float64(i)
 }
 
+// Bad: access counts are guarded like the other counters.
+func badAccesses(n units.Accesses) float64 {
+	return float64(n) / 2
+}
+
 // Bad: Time*Time compiles but seconds-squared is not a Time.
 func area(t units.Time) units.Time {
 	return t * t

@@ -19,6 +19,7 @@ var guardedUnits = map[string]string{
 	"Power":     "Watts",
 	"Flops":     "Count",
 	"Bytes":     "Count",
+	"Accesses":  "Count",
 	"Intensity": "Ratio",
 }
 

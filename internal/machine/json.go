@@ -157,19 +157,19 @@ func ToJSON(w io.Writer, p *Platform) error {
 		Class:     className,
 		IsGPU:     p.IsGPU,
 
-		VendorSingleGflops: float64(p.Vendor.Single) / 1e9,
-		VendorDoubleGflops: float64(p.Vendor.Double) / 1e9,
-		VendorMemGBs:       float64(p.Vendor.MemBW) / 1e9,
+		VendorSingleGflops: p.Vendor.Single.FlopsPerSec() / 1e9,
+		VendorDoubleGflops: p.Vendor.Double.FlopsPerSec() / 1e9,
+		VendorMemGBs:       p.Vendor.MemBW.BytesPerSec() / 1e9,
 
 		IdleW: p.IdlePower.Watts(),
 
-		SustainedSingleGflops: float64(p.Sustained.SingleRate) / 1e9,
-		SustainedDoubleGflops: float64(p.Sustained.DoubleRate) / 1e9,
-		SustainedMemGBs:       float64(p.Sustained.MemBW) / 1e9,
+		SustainedSingleGflops: p.Sustained.SingleRate.FlopsPerSec() / 1e9,
+		SustainedDoubleGflops: p.Sustained.DoubleRate.FlopsPerSec() / 1e9,
+		SustainedMemGBs:       p.Sustained.MemBW.BytesPerSec() / 1e9,
 
-		EpsSPJ:    float64(p.Single.EpsFlop) * 1e12,
-		EpsDPJ:    float64(p.DoubleEps) * 1e12,
-		EpsMemPJ:  float64(p.Single.EpsMem) * 1e12,
+		EpsSPJ:    p.Single.EpsFlop.JoulesPerFlop() * 1e12,
+		EpsDPJ:    p.DoubleEps.JoulesPerFlop() * 1e12,
+		EpsMemPJ:  p.Single.EpsMem.JoulesPerByte() * 1e12,
 		Pi1W:      p.Single.Pi1.Watts(),
 		DeltaPiW:  p.Single.DeltaPi.Watts(),
 		CacheLine: int(p.CacheLine),
@@ -178,14 +178,14 @@ func ToJSON(w io.Writer, p *Platform) error {
 		L2SizeBytes: int64(p.L2Size),
 	}
 	if p.L1 != nil {
-		pj.L1 = &levelJSON{EpsPJ: float64(p.L1.Eps) * 1e12, BWGBs: 1e-9 / float64(p.L1.Tau)}
+		pj.L1 = &levelJSON{EpsPJ: p.L1.Eps.JoulesPerByte() * 1e12, BWGBs: 1e-9 / float64(p.L1.Tau)}
 	}
 	if p.L2 != nil {
-		pj.L2 = &levelJSON{EpsPJ: float64(p.L2.Eps) * 1e12, BWGBs: 1e-9 / float64(p.L2.Tau)}
+		pj.L2 = &levelJSON{EpsPJ: p.L2.Eps.JoulesPerByte() * 1e12, BWGBs: 1e-9 / float64(p.L2.Tau)}
 	}
 	if p.Rand != nil {
-		pj.RandEpsNJ = float64(p.Rand.Eps) * 1e9
-		pj.RandMaccs = float64(p.Rand.Rate) / 1e6
+		pj.RandEpsNJ = p.Rand.Eps.JoulesPerAccess() * 1e9
+		pj.RandMaccs = p.Rand.Rate.AccessesPerSec() / 1e6
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

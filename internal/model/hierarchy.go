@@ -161,8 +161,8 @@ func (r RandomAccessParams) TimeEnergy(n units.Accesses, base Params) (units.Tim
 	if r.Rate <= 0 {
 		return 0, 0, errors.New("model: random access rate must be positive")
 	}
-	tAcc := float64(n) / float64(r.Rate)
-	dynamic := float64(n) * float64(r.Eps)
+	tAcc := n.Count() / float64(r.Rate)
+	dynamic := n.Count() * float64(r.Eps)
 	t := tAcc
 	if dynamic > 0 && base.DeltaPi.Watts() > 0 {
 		if capT := dynamic / base.DeltaPi.Watts(); capT > t {

@@ -118,12 +118,12 @@ func ParetoCap(p model.Params, i units.Intensity, n int) (*CapPareto, error) {
 		if err != nil {
 			return nil, err
 		}
-		rate := float64(capped.FlopRateAt(i))
+		rate := capped.FlopRateAt(i).FlopsPerSec()
 		if rate <= 0 {
 			continue
 		}
 		t := 1 / rate
-		e := float64(capped.EnergyPerFlopAt(i))
+		e := capped.EnergyPerFlopAt(i).JoulesPerFlop()
 		out.Points = append(out.Points, CapParetoPoint{Frac: frac, TimePerFlop: t, EnergyPerFlop: e})
 		if edp := e * t; bestEDP == 0 || edp < bestEDP {
 			bestEDP = edp

@@ -122,11 +122,11 @@ func (s *Server) handlePlatforms(_ http.ResponseWriter, _ *http.Request) (any, *
 				Microarch:          p.Microarch,
 				Class:              p.Class.String(),
 				IsGPU:              p.IsGPU,
-				VendorSingleGflops: float64(p.Vendor.Single) / 1e9,
-				VendorMemGBs:       float64(p.Vendor.MemBW) / 1e9,
+				VendorSingleGflops: p.Vendor.Single.FlopsPerSec() / 1e9,
+				VendorMemGBs:       p.Vendor.MemBW.BytesPerSec() / 1e9,
 				Pi1W:               p.Single.Pi1.Watts(),
 				DeltaPiW:           p.Single.DeltaPi.Watts(),
-				PeakGflopsPerJoule: float64(p.Single.PeakFlopsPerJoule()) / 1e9,
+				PeakGflopsPerJoule: p.Single.PeakFlopsPerJoule().FlopsPerJoule() / 1e9,
 				ConstantPowerShare: p.ConstantPowerShare(),
 				SupportsDouble:     p.SupportsDouble(),
 			})
@@ -251,9 +251,9 @@ func sweepRoofline(ctx context.Context, id, name, precision string, p model.Para
 	out.Balances.BEps = nf(p.EnergyBalance().Ratio())
 	out.Balances.BTauMinus = nf(p.TimeBalanceMinus().Ratio())
 	out.Balances.BTauPlus = nf(p.TimeBalancePlus().Ratio())
-	out.Peak.FlopsPerSec = float64(p.PeakFlopRate())
-	out.Peak.BytesPerSec = float64(p.PeakByteRate())
-	out.Peak.FlopsPerJoule = float64(p.PeakFlopsPerJoule())
+	out.Peak.FlopsPerSec = p.PeakFlopRate().FlopsPerSec()
+	out.Peak.BytesPerSec = p.PeakByteRate().BytesPerSec()
+	out.Peak.FlopsPerJoule = p.PeakFlopsPerJoule().FlopsPerJoule()
 	out.Peak.AvgPowerW = p.PeakAvgPower().Watts()
 	out.CapBinds = !p.Powerful()
 	grid := model.LogSpace(units.Intensity(g.IMin), units.Intensity(g.IMax), g.Points)
@@ -267,9 +267,9 @@ func sweepRoofline(ctx context.Context, id, name, precision string, p model.Para
 		out.Points = append(out.Points, rooflinePoint{
 			Intensity:           i.Ratio(),
 			Regime:              p.RegimeAt(i).Letter(),
-			FlopsPerSec:         float64(p.FlopRateAt(i)),
-			UncappedFlopsPerSec: float64(p.FlopRateAtUncapped(i)),
-			FlopsPerJoule:       float64(p.FlopsPerJouleAt(i)),
+			FlopsPerSec:         p.FlopRateAt(i).FlopsPerSec(),
+			UncappedFlopsPerSec: p.FlopRateAtUncapped(i).FlopsPerSec(),
+			FlopsPerJoule:       p.FlopsPerJouleAt(i).FlopsPerJoule(),
 			AvgPowerW:           p.AvgPowerAt(i).Watts(),
 			Throttle:            nf(p.ThrottleFactor(i)),
 		})
@@ -418,8 +418,8 @@ func (s *Server) evalQuery(req queryRequest) (*cachedResponse, *apiError) {
 		i := units.Intensity(iv)
 		out.Intensity = iv
 		out.Regime = p.RegimeAt(i).Letter()
-		out.FlopsPerSec = nf(float64(p.FlopRateAt(i)))
-		out.FlopsPerJoule = nf(float64(p.FlopsPerJouleAt(i)))
+		out.FlopsPerSec = nf(p.FlopRateAt(i).FlopsPerSec())
+		out.FlopsPerJoule = nf(p.FlopsPerJouleAt(i).FlopsPerJoule())
 		out.AvgPowerW = nf(p.AvgPowerAt(i).Watts())
 		out.Throttle = nf(p.ThrottleFactor(i))
 		return out, nil
@@ -642,8 +642,8 @@ func (s *Server) whatifThrottle(req whatifRequest) (any, *apiError) {
 				cj.Points = append(cj.Points, rooflinePoint{
 					Intensity:     pt.I.Ratio(),
 					Regime:        pt.Regime.Letter(),
-					FlopsPerSec:   float64(pt.Perf),
-					FlopsPerJoule: float64(pt.Eff),
+					FlopsPerSec:   pt.Perf.FlopsPerSec(),
+					FlopsPerJoule: pt.Eff.FlopsPerJoule(),
 					AvgPowerW:     pt.Power.Watts(),
 				})
 			}

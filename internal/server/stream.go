@@ -162,9 +162,9 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) (any,
 			buf = append(buf, rooflinePoint{
 				Intensity:           i.Ratio(),
 				Regime:              p.RegimeAt(i).Letter(),
-				FlopsPerSec:         float64(p.FlopRateAt(i)),
-				UncappedFlopsPerSec: float64(p.FlopRateAtUncapped(i)),
-				FlopsPerJoule:       float64(p.FlopsPerJouleAt(i)),
+				FlopsPerSec:         p.FlopRateAt(i).FlopsPerSec(),
+				UncappedFlopsPerSec: p.FlopRateAtUncapped(i).FlopsPerSec(),
+				FlopsPerJoule:       p.FlopsPerJouleAt(i).FlopsPerJoule(),
 				AvgPowerW:           p.AvgPowerAt(i).Watts(),
 				Throttle:            nf(p.ThrottleFactor(i)),
 			})

@@ -416,7 +416,8 @@ func (s *Simulator) runChase(k Kernel) (RunResult, error) {
 		return RunResult{}, err
 	}
 	dynEnergy := e.Joules() - s.plat.Single.Pi1.Watts()*t.Seconds()
-	q := units.Bytes(float64(n) * r.Line.Count())
+	//archlint:ignore dimcheck r.Line is the line size in bytes per access, so the access count cancels
+	q := units.Bytes(n.Count() * r.Line.Count())
 	res, err := s.finish(k, model.LevelRand, 0, q, n, t.Seconds(), dynEnergy)
 	return res, err
 }

@@ -91,6 +91,36 @@ func (a Accesses) Count() float64 { return float64(a) }
 // Ratio returns i as a plain float64 flop:byte ratio.
 func (i Intensity) Ratio() float64 { return float64(i) }
 
+// FlopsPerSec returns r as a plain float64 throughput in flop/s.
+func (r FlopRate) FlopsPerSec() float64 { return float64(r) }
+
+// BytesPerSec returns r as a plain float64 bandwidth in B/s.
+func (r ByteRate) BytesPerSec() float64 { return float64(r) }
+
+// AccessesPerSec returns r as a plain float64 rate in accesses/s.
+func (r AccessRate) AccessesPerSec() float64 { return float64(r) }
+
+// SecondsPerFlop returns t as a plain float64 cost in s/flop.
+func (t TimePerFlop) SecondsPerFlop() float64 { return float64(t) }
+
+// SecondsPerByte returns t as a plain float64 cost in s/B.
+func (t TimePerByte) SecondsPerByte() float64 { return float64(t) }
+
+// JoulesPerFlop returns e as a plain float64 energy cost in J/flop.
+func (e EnergyPerFlop) JoulesPerFlop() float64 { return float64(e) }
+
+// JoulesPerByte returns e as a plain float64 energy cost in J/B.
+func (e EnergyPerByte) JoulesPerByte() float64 { return float64(e) }
+
+// JoulesPerAccess returns e as a plain float64 energy cost in J/access.
+func (e EnergyPerAccess) JoulesPerAccess() float64 { return float64(e) }
+
+// FlopsPerJoule returns e as a plain float64 efficiency in flop/J.
+func (e FlopsPerJoule) FlopsPerJoule() float64 { return float64(e) }
+
+// BytesPerJoule returns e as a plain float64 efficiency in B/J.
+func (e BytesPerJoule) BytesPerJoule() float64 { return float64(e) }
+
 // Over divides an energy by a time, yielding the average power.
 func (e Energy) Over(t Time) Power {
 	if t <= 0 {

@@ -77,6 +77,31 @@ func TestConversionsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDerivedAccessors(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"FlopRate.FlopsPerSec", FlopRate(4.02e12).FlopsPerSec(), 4.02e12},
+		{"ByteRate.BytesPerSec", ByteRate(240e9).BytesPerSec(), 240e9},
+		{"AccessRate.AccessesPerSec", AccessRate(968e6).AccessesPerSec(), 968e6},
+		{"TimePerFlop.SecondsPerFlop", TimePerFlop(2.5e-13).SecondsPerFlop(), 2.5e-13},
+		{"TimePerByte.SecondsPerByte", TimePerByte(4.2e-12).SecondsPerByte(), 4.2e-12},
+		{"EnergyPerFlop.JoulesPerFlop", EnergyPerFlop(30.4e-12).JoulesPerFlop(), 30.4e-12},
+		{"EnergyPerByte.JoulesPerByte", EnergyPerByte(267e-12).JoulesPerByte(), 267e-12},
+		{"EnergyPerAccess.JoulesPerAccess", EnergyPerAccess(48e-9).JoulesPerAccess(), 48e-9},
+		{"FlopsPerJoule.FlopsPerJoule", FlopsPerJoule(16e9).FlopsPerJoule(), 16e9},
+		{"BytesPerJoule.BytesPerJoule", BytesPerJoule(1.3e9).BytesPerJoule(), 1.3e9},
+		{"Accesses.Count", Accesses(1024).Count(), 1024},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
 func TestEnergyPowerTime(t *testing.T) {
 	e := Energy(100)
 	tt := Time(4)

@@ -60,7 +60,7 @@ func (a App) Total() (Profile, error) {
 	for _, p := range a.Phases {
 		w += p.W.Count()
 		q += p.Q.Count()
-		r += float64(p.RandomAccesses)
+		r += p.RandomAccesses.Count()
 	}
 	it := float64(a.Iterations)
 	return Profile{

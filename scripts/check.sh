@@ -1,7 +1,9 @@
 #!/bin/sh
 # check.sh — the full pre-merge gate, equivalent to `make check`.
 # Builds everything, vets, runs the race-enabled test suite, then runs
-# the in-repo static-analysis suite (cmd/archlint) over every package.
+# the in-repo static-analysis suite (cmd/archlint) over every package —
+# all eight analyzers, dimcheck included, plus stale-suppression
+# detection; any unsuppressed finding fails the gate.
 set -eu
 
 cd "$(dirname "$0")/.."
