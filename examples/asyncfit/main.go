@@ -1,0 +1,153 @@
+// asyncfit drives a running archlined daemon's async fit-job API end
+// to end, the way an operator recalibrating a platform would: submit a
+// measure→fit job under a fault profile, follow its NDJSON progress
+// stream live, then poll the terminal body and report the re-fitted
+// constants next to the paper's Table I values. Start the daemon
+// first:
+//
+//	archline serve -addr :8080        (or: go run ./cmd/archlined)
+//	go run ./examples/asyncfit -url http://localhost:8080
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// jobInfo mirrors the /v1/fit and /v1/jobs/{id} wire shape; extra
+// fields are ignored.
+type jobInfo struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Result struct {
+		FaultProfile string `json:"fault_profile"`
+		Robust       struct {
+			Repeats    int    `json:"repeats"`
+			Retries    int    `json:"retries"`
+			Discarded  int    `json:"discarded"`
+			WorstGrade string `json:"worst_grade"`
+		} `json:"robust"`
+		Fit struct {
+			EpsFlopJ float64 `json:"eps_flop_j_per_flop"`
+			EpsMemJ  float64 `json:"eps_mem_j_per_byte"`
+			Pi1W     float64 `json:"pi1_w"`
+			Kernels  int     `json:"kernels"`
+		} `json:"fit"`
+		Grade string `json:"grade"`
+	} `json:"result"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "archlined base URL")
+	profile := flag.String("profile", "paper", "fault profile: none, paper, harsh")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Submit: 202 Accepted comes back immediately; the measurement and
+	// fit run off the request path.
+	body := fmt.Sprintf(`{"platform_id": "gtx-titan", "fault_profile": %q, "seed": 42}`, *profile)
+	resp, err := client.Post(*url+"/v1/fit", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatalf("is archlined running? %v", err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit failed: %s: %s", resp.Status, out)
+	}
+	var job jobInfo
+	if err := json.Unmarshal(out, &job); err != nil {
+		log.Fatalf("submit body: %v", err)
+	}
+	fmt.Printf("submitted %s (%s), state %s\n", job.ID, job.Name, job.State)
+
+	// Follow the progress stream until the daemon sends the trailer.
+	stream, err := client.Get(*url + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var ev struct {
+			Job    string         `json:"job"` // set only on the header line
+			Name   string         `json:"name"`
+			Attrs  map[string]any `json:"attrs"`
+			Replay int            `json:"replay"`
+			Done   *bool          `json:"done"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue
+		}
+		switch {
+		case ev.Done != nil:
+			fmt.Printf("  stream done=%v\n", *ev.Done)
+		case ev.Job != "":
+			fmt.Printf("  following %s (%d events replayed)\n", ev.Job, ev.Replay)
+		case ev.Name != "":
+			fmt.Printf("  event %-14s %v\n", ev.Name, ev.Attrs)
+		}
+	}
+	_ = stream.Body.Close()
+	if err := sc.Err(); err != nil {
+		log.Fatalf("event stream: %v", err)
+	}
+
+	// The job is terminal now; fetch the full result body.
+	final := poll(client, *url, job.ID)
+	if final.State != "done" {
+		log.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	r := final.Result
+	fmt.Printf("\nre-fitted GTX Titan under the %q profile (grade %s):\n", r.FaultProfile, r.Grade)
+	fmt.Printf("  robust: %d repeats, %d retries, %d discarded, worst trace %s\n",
+		r.Robust.Repeats, r.Robust.Retries, r.Robust.Discarded, r.Robust.WorstGrade)
+	fmt.Printf("  %-22s %12s %12s\n", "constant", "fitted", "Table I")
+	for _, row := range []struct {
+		name   string
+		fitted float64
+		truth  float64
+	}{
+		// Table I, GTX Titan single precision: 30.4 pJ/flop,
+		// 267 pJ/B, 123 W.
+		{"eps_flop (J/flop)", r.Fit.EpsFlopJ, 30.4e-12},
+		{"eps_mem  (J/byte)", r.Fit.EpsMemJ, 267e-12},
+		{"pi_1     (W)", r.Fit.Pi1W, 123},
+	} {
+		fmt.Printf("  %-22s %12.3e %12.3e\n", row.name, row.fitted, row.truth)
+	}
+	fmt.Printf("  fitted from %d kernels\n", r.Fit.Kernels)
+}
+
+// poll fetches the job until it is terminal.
+func poll(client *http.Client, base, id string) jobInfo {
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var job jobInfo
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		_ = resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch job.State {
+		case "done", "failed", "canceled":
+			return job
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -175,9 +175,15 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 			"worker-pool width for /v1/batch item evaluation (0 = all CPUs)")
 		chaosProf = fs.String("chaos", "",
 			"chaos middleware fault profile (paper, harsh); off unless set explicitly")
-		chaosSeed = fs.Uint64("chaos-seed", 42, "seed for chaos draws (same seed, same chaos)")
-		traceLog  = fs.String("trace-log", "", "write every finished request span to this file as NDJSON")
-		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		chaosSeed  = fs.Uint64("chaos-seed", 42, "seed for chaos draws (same seed, same chaos)")
+		traceLog   = fs.String("trace-log", "", "write every finished request span to this file as NDJSON")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		jobWorkers = fs.Int("job-workers", 0,
+			"concurrent async fit jobs (0 = default 2, clamped to the CPU count)")
+		jobQueue = fs.Int("job-queue", 0,
+			"queued-job cap beyond the running ones before POST /v1/fit sheds with 429 (0 = default 16, negative disables queueing)")
+		jobTTL = fs.Duration("job-ttl", 0,
+			"how long finished jobs stay pollable before eviction (0 = default 15m)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return ExitUsage
@@ -206,6 +212,9 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 		ChaosSeed:      *chaosSeed,
 		LogWriter:      stderr,
 		EnablePprof:    *pprofOn,
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobTTL:         *jobTTL,
 	}
 	var tf *os.File
 	if *traceLog != "" {

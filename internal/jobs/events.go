@@ -1,0 +1,122 @@
+package jobs
+
+import "sync"
+
+// Event is one progress observation from a job: lifecycle transitions
+// emitted by the engine (queued, running, cancel.requested, the final
+// state) and anything the job Func narrates via Progress.Emit. Seq is a
+// per-job monotonically increasing sequence number, so consumers that
+// reconnect can detect replayed events.
+type Event struct {
+	Seq   int            `json:"seq"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// maxEvents caps the per-job event history. A job that narrates past
+// the cap keeps running; the history ends with one events.truncated
+// marker and live subscribers still receive everything.
+const maxEvents = 512
+
+// subBuffer is each subscriber's channel capacity. A subscriber that
+// falls further behind than this loses events (the live stream is
+// lossy by design — Snapshot.Events exposes the true count), because a
+// stalled HTTP client must never be able to wedge a running job.
+const subBuffer = 64
+
+// Progress is a job's event log: a bounded replay buffer plus a fan-out
+// to live subscribers. The engine creates one per job; the job Func
+// receives it to narrate progress. Safe for concurrent use.
+type Progress struct {
+	mu      sync.Mutex
+	events  []Event
+	seq     int
+	subs    map[int]chan Event
+	nextSub int
+	closed  bool
+}
+
+func newProgress() *Progress {
+	return &Progress{subs: map[int]chan Event{}}
+}
+
+// Emit records a progress event from the job's own code (the engine
+// uses the same path for lifecycle events). Emitting after the job is
+// terminal is a no-op.
+func (p *Progress) Emit(name string, attrs map[string]any) {
+	p.emit(name, attrs)
+}
+
+func (p *Progress) emit(name string, attrs map[string]any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.seq++
+	ev := Event{Seq: p.seq, Name: name, Attrs: attrs}
+	switch {
+	case len(p.events) < maxEvents:
+		p.events = append(p.events, ev)
+	case len(p.events) == maxEvents:
+		p.events = append(p.events, Event{Seq: p.seq, Name: "events.truncated"})
+	}
+	for _, ch := range p.subs {
+		// Non-blocking fan-out: drop rather than let a slow subscriber
+		// stall the job goroutine.
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// count reports how many events have been emitted (not how many were
+// retained).
+func (p *Progress) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
+// subscribe returns a copy of the retained history plus a channel of
+// subsequent events. The channel closes when the job reaches a terminal
+// state; for an already-closed Progress it is returned closed, so
+// consumers can range over it uniformly. cancel detaches the
+// subscription and must always be called (it is idempotent).
+func (p *Progress) subscribe() (replay []Event, live <-chan Event, cancel func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	replay = append([]Event(nil), p.events...)
+	ch := make(chan Event, subBuffer)
+	if p.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	id := p.nextSub
+	p.nextSub++
+	p.subs[id] = ch
+	return replay, ch, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if _, ok := p.subs[id]; ok {
+			delete(p.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// close ends the event stream: every subscriber channel is closed and
+// further emits become no-ops. Called exactly once by Engine.finish.
+func (p *Progress) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for id, ch := range p.subs {
+		delete(p.subs, id)
+		close(ch)
+	}
+}

@@ -77,6 +77,19 @@ func RunRobust(plat *machine.Platform, cfg Config, opts sim.Options, rc RobustCo
 func RunRobustContext(ctx context.Context, plat *machine.Platform, cfg Config,
 	opts sim.Options, rc RobustConfig) (*Result, *RobustStats, error) {
 	rc = rc.withDefaults()
+	if rc.Sleep == nil {
+		// Default retry backoff honours ctx: a canceled suite wakes
+		// early instead of sitting out the delay, and the next ctx.Err
+		// check aborts the run.
+		rc.Sleep = func(d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		}
+	}
 	opts.Sanitize = true
 	ctx, span := obs.Start(ctx, "microbench.suite",
 		obs.String("platform", string(plat.ID)), obs.Int("repeats", rc.Repeats))
@@ -89,6 +102,13 @@ func RunRobustContext(ctx context.Context, plat *machine.Platform, cfg Config,
 	res := &Result{Platform: plat}
 	rs := &RobustStats{Repeats: rc.Repeats}
 	for _, k := range kernels {
+		// The simulator itself never blocks, so cancellation (an async
+		// job being deleted, a drain deadline) is honoured here, between
+		// kernels — the suite stops promptly instead of grinding through
+		// the remaining measurements.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("microbench: suite on %s: %w", plat.Name, err)
+		}
 		m, err := measureKernelRobust(ctx, s, k, rc, rs, opts.Seed)
 		if err != nil {
 			return nil, nil, fmt.Errorf("microbench: %s on %s: %w", k.Name, plat.Name, err)
@@ -114,6 +134,9 @@ func measureKernelRobust(ctx context.Context, s *sim.Simulator, k sim.Kernel,
 	var reps []sim.Measurement
 	var lastErr error
 	for rep := 0; rep < rc.Repeats; rep++ {
+		if err := ctx.Err(); err != nil {
+			return sim.Measurement{}, err
+		}
 		rk := k
 		rk.Name = k.Name + repeatSuffix(rep)
 		rng := stats.NewStream(seed^0x5e77, string(s.Platform().ID)+"/retry/"+rk.Name)
@@ -203,6 +226,9 @@ func measureIdleRobust(ctx context.Context, s *sim.Simulator, rc RobustConfig,
 	var idles []float64
 	var lastErr error
 	for rep := 0; rep < rc.Repeats; rep++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		rng := stats.NewStream(seed^0x5e77, string(plat.ID)+"/retry/idle"+repeatSuffix(rep))
 		var p units.Power
 		retries, err := faults.RetryNotify(rc.Backoff, rc.Sleep, rng,

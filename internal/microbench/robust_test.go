@@ -1,6 +1,8 @@
 package microbench
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -133,5 +135,22 @@ func TestRunRobustAllRepeatsFailing(t *testing.T) {
 	}
 	if !powermon.IsTransient(err) {
 		t.Errorf("exhausted-retry error should stay classifiable: %v", err)
+	}
+}
+
+func TestRunRobustContextCancellation(t *testing.T) {
+	// A canceled context must abort the suite promptly with a
+	// context.Canceled-classifiable error, not run every kernel.
+	plat := machine.MustByID(machine.GTXTitan)
+	cfg := DefaultConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sleep, _ := sleepRecorder(t)
+	res, _, err := RunRobustContext(ctx, plat, cfg, robustOpts(nil), RobustConfig{Sleep: sleep})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("canceled run still returned a result with %d measurements", len(res.Measurements))
 	}
 }

@@ -136,6 +136,17 @@ func RequestID(ctx context.Context) (string, bool) {
 	return id, ok && id != ""
 }
 
+// Detach returns a context that keeps ctx's observability values —
+// tracer, request ID, active span — but is never canceled by ctx and
+// carries no deadline. Hand it to work that must outlive the request
+// that spawned it (an async job): spans started from the detached
+// context still parent under the request's span tree and adopt its
+// request ID as the trace, while the request's cancellation stops at
+// the boundary.
+func Detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
 // Start begins a span named name under the context's tracer and active
 // span. It returns a derived context carrying the new span (so child
 // operations nest under it) and the span itself. Without a tracer on

@@ -168,3 +168,42 @@ func TestDeterministicExport(t *testing.T) {
 		t.Errorf("identical runs exported different bytes:\n%s\nvs\n%s", a, b)
 	}
 }
+
+func TestDetachKeepsObsValuesDropsCancellation(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	ctx := WithRequestID(WithTracer(context.Background(), tr), "req-detach")
+	ctx, parent := Start(ctx, "http.request")
+	ctx, cancel := context.WithCancel(ctx)
+	det := Detach(ctx)
+	cancel()
+	if det.Err() != nil {
+		t.Fatalf("detached context inherited cancellation: %v", det.Err())
+	}
+	if TracerFrom(det) != tr {
+		t.Error("detached context lost the tracer")
+	}
+	if id, ok := RequestID(det); !ok || id != "req-detach" {
+		t.Errorf("detached context request ID = %q, %v", id, ok)
+	}
+	if SpanFrom(det) == nil {
+		t.Error("detached context lost the active span")
+	}
+	_, child := Start(det, "job.work")
+	child.End()
+	parent.End()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(lines))
+	}
+	var rec struct {
+		Trace  string `json:"trace"`
+		Parent uint64 `json:"parent"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Trace != "req-detach" || rec.Parent == 0 {
+		t.Errorf("detached child span trace=%q parent=%d; want the request trace and a non-root parent", rec.Trace, rec.Parent)
+	}
+}

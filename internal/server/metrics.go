@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"archline/internal/jobs"
 	"archline/internal/obs"
 	"archline/internal/stats"
 )
@@ -50,6 +51,9 @@ type Metrics struct {
 	tracerProbe func() obs.TracerStats
 	// logProbe, when set, reports the structured-log record count.
 	logProbe func() int64
+	// jobsProbe, when set, reports the async job engine's gauges and
+	// counters for the archlined_jobs_* families.
+	jobsProbe func() jobs.Stats
 }
 
 // latWindow is a fixed ring of recent latency samples in seconds.
@@ -175,6 +179,39 @@ func newMetrics(now func() time.Time) *Metrics {
 		func(emit func([]string, float64)) {
 			if m.logProbe != nil {
 				emit(nil, float64(m.logProbe()))
+			}
+		})
+	reg.Collect("archlined_jobs_active", "async jobs currently queued or running", "gauge",
+		[]string{"state"}, func(emit func([]string, float64)) {
+			if m.jobsProbe == nil {
+				return
+			}
+			st := m.jobsProbe()
+			// Emitted in the jobs.States order (the live states first),
+			// never from a map, so renders stay byte-stable.
+			emit([]string{jobs.Queued.String()}, float64(st.Queued))
+			emit([]string{jobs.Running.String()}, float64(st.Running))
+		})
+	reg.Collect("archlined_jobs_finished_total", "async jobs by terminal state", "counter",
+		[]string{"state"}, func(emit func([]string, float64)) {
+			if m.jobsProbe == nil {
+				return
+			}
+			st := m.jobsProbe()
+			emit([]string{jobs.Done.String()}, float64(st.Done))
+			emit([]string{jobs.Failed.String()}, float64(st.Failed))
+			emit([]string{jobs.Canceled.String()}, float64(st.Canceled))
+		})
+	reg.Collect("archlined_jobs_submitted_total", "async jobs accepted by the engine", "counter", nil,
+		func(emit func([]string, float64)) {
+			if m.jobsProbe != nil {
+				emit(nil, float64(m.jobsProbe().Submitted))
+			}
+		})
+	reg.Collect("archlined_jobs_shed_total", "async job submits refused by the queue cap", "counter", nil,
+		func(emit func([]string, float64)) {
+			if m.jobsProbe != nil {
+				emit(nil, float64(m.jobsProbe().Shed))
 			}
 		})
 	return m

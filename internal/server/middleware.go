@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +20,22 @@ import (
 // handlerFunc is the internal handler shape: return a value to encode as
 // JSON (may be a *cachedResponse for pre-encoded bodies) or an apiError.
 type handlerFunc func(w http.ResponseWriter, r *http.Request) (any, *apiError)
+
+// methodHandlers maps HTTP methods to handlers for one route pattern.
+// A request with a method outside the map gets 405 plus the RFC
+// 9110-required Allow header listing what the pattern does support.
+type methodHandlers map[string]handlerFunc
+
+// allowList renders a methodHandlers' Allow header value: the supported
+// methods, sorted so the header is deterministic.
+func allowList(methods methodHandlers) string {
+	names := make([]string, 0, len(methods))
+	for m := range methods {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
 
 // apiError is a structured endpoint failure carrying its HTTP status.
 type apiError struct {
@@ -125,7 +143,7 @@ func newRequestID() string {
 // accounting, latency/status metrics labelled by the route pattern,
 // method enforcement, request body limits, a context deadline, and
 // panic containment.
-func (s *Server) serveInstrumented(pattern, method string, h handlerFunc, w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveInstrumented(pattern string, methods methodHandlers, w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.metrics.noteInFlight(1)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -200,7 +218,9 @@ func (s *Server) serveInstrumented(pattern, method string, h handlerFunc, w http
 		}
 	}()
 
-	if r.Method != method {
+	h := methods[r.Method]
+	if h == nil {
+		rec.Header().Set("Allow", allowList(methods))
 		writeError(rec, errMethodNotAllowed(r.Method))
 		return
 	}

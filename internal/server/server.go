@@ -13,6 +13,10 @@
 //	POST /v1/sweep/stream                   NDJSON roofline sweep, flushed in chunks
 //	POST /v1/compare                        fig. 1 crossover analysis
 //	POST /v1/whatif                         throttle / bound / aggregate scenarios
+//	POST /v1/fit                            submit an async measure→fit job (202 + job ID)
+//	GET  /v1/jobs/{id}                      poll a job; terminal body carries the fit
+//	GET  /v1/jobs/{id}/events               follow job progress as NDJSON
+//	DELETE /v1/jobs/{id}                    cancel a queued or running job
 //	GET  /healthz                           liveness
 //	GET  /metrics                           counters, latency quantiles, cache stats
 //
@@ -36,6 +40,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"archline/internal/jobs"
 	"archline/internal/obs"
 )
 
@@ -86,6 +91,16 @@ type Config struct {
 	// default: profiling endpoints are a diagnostic surface, not part of
 	// the public API.
 	EnablePprof bool
+	// JobWorkers bounds how many async fit jobs execute concurrently.
+	// Zero takes the jobs-package default (2, clamped to the CPU count).
+	JobWorkers int
+	// JobQueueDepth caps how many submitted jobs may wait beyond the
+	// running ones; a submit past the cap is shed with 429. Zero takes
+	// the jobs-package default; negative disables queueing entirely.
+	JobQueueDepth int
+	// JobTTL is how long finished jobs stay pollable before eviction.
+	// Zero takes the jobs-package default (15 minutes).
+	JobTTL time.Duration
 }
 
 // Defaults for zero Config fields.
@@ -129,6 +144,7 @@ type Server struct {
 	flights *flightGroup
 	metrics *Metrics
 	breaker *circuitBreaker
+	jobs    *jobs.Engine
 	chaos   *chaosInjector
 	tracer  *obs.Tracer // nil unless Config.TraceWriter is set
 	log     *slog.Logger
@@ -153,9 +169,15 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		breaker: newCircuitBreaker(cfg.BreakerWindow, cfg.BreakerErrRate,
 			cfg.BreakerMinSamples, cfg.BreakerCooldown, nil),
+		jobs: jobs.New(jobs.Config{
+			Workers:    cfg.JobWorkers,
+			QueueDepth: cfg.JobQueueDepth,
+			TTL:        cfg.JobTTL,
+		}),
 	}
 	s.chaos, s.initErr = newChaosInjector(cfg.ChaosProfile, cfg.ChaosSeed, nil)
 	s.metrics.breakerProbe = s.breaker.snapshot
+	s.metrics.jobsProbe = s.jobs.Stats
 	if cfg.TraceWriter != nil {
 		s.tracer = obs.NewTracer(cfg.TraceWriter)
 		s.metrics.tracerProbe = s.tracer.Stats
@@ -165,15 +187,18 @@ func New(cfg Config) *Server {
 	} else {
 		s.log = obs.NopLogger()
 	}
-	s.handle("GET", "/healthz", s.handleHealthz)
-	s.handle("GET", "/metrics", s.handleMetrics)
-	s.handle("GET", "/v1/platforms", s.handlePlatforms)
-	s.handle("GET", "/v1/platforms/{id}/roofline", s.handleRoofline)
-	s.handle("POST", "/v1/query", s.handleQuery)
-	s.handle("POST", "/v1/batch", s.handleBatch)
-	s.handle("POST", "/v1/sweep/stream", s.handleSweepStream)
-	s.handle("POST", "/v1/compare", s.handleCompare)
-	s.handle("POST", "/v1/whatif", s.handleWhatIf)
+	s.handle("/healthz", methodHandlers{"GET": s.handleHealthz})
+	s.handle("/metrics", methodHandlers{"GET": s.handleMetrics})
+	s.handle("/v1/platforms", methodHandlers{"GET": s.handlePlatforms})
+	s.handle("/v1/platforms/{id}/roofline", methodHandlers{"GET": s.handleRoofline})
+	s.handle("/v1/query", methodHandlers{"POST": s.handleQuery})
+	s.handle("/v1/batch", methodHandlers{"POST": s.handleBatch})
+	s.handle("/v1/sweep/stream", methodHandlers{"POST": s.handleSweepStream})
+	s.handle("/v1/compare", methodHandlers{"POST": s.handleCompare})
+	s.handle("/v1/whatif", methodHandlers{"POST": s.handleWhatIf})
+	s.handle("/v1/fit", methodHandlers{"POST": s.handleFitSubmit})
+	s.handle("/v1/jobs/{id}", methodHandlers{"GET": s.handleJobGet, "DELETE": s.handleJobCancel})
+	s.handle("/v1/jobs/{id}/events", methodHandlers{"GET": s.handleJobEvents})
 	if cfg.EnablePprof {
 		// Mounted raw (no serveInstrumented): pprof handlers stream for
 		// seconds and must not count against the request timeout, the
@@ -207,19 +232,23 @@ func (s *Server) noteEval() {
 }
 
 // handle registers one endpoint with the standard middleware stack:
-// metrics instrumentation, method enforcement, body size limit, panic
-// recovery, and a per-request timeout.
-func (s *Server) handle(method, pattern string, h handlerFunc) {
+// metrics instrumentation, method enforcement (405 + Allow for methods
+// outside the map), body size limit, panic recovery, and a per-request
+// timeout.
+func (s *Server) handle(pattern string, methods methodHandlers) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		s.serveInstrumented(pattern, method, h, w, r)
+		s.serveInstrumented(pattern, methods, w, r)
 	})
 }
 
 // handleNotFound is the catch-all for unrouted paths, keeping 404s in
-// the JSON envelope format.
+// the JSON envelope format. The handler is keyed on the request's own
+// method so the 404 (never a 405) is what unrouted paths answer.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	s.serveInstrumented("other", r.Method, func(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
-		return nil, errNotFound("no such endpoint %q", r.URL.Path)
+	s.serveInstrumented("other", methodHandlers{
+		r.Method: func(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+			return nil, errNotFound("no such endpoint %q", r.URL.Path)
+		},
 	}, w, r)
 }
 
@@ -289,6 +318,20 @@ func (s *Server) Run(ctx context.Context, stdout, stderr io.Writer) error {
 	defer cancel()
 	s.log.LogAttrs(dctx, slog.LevelInfo, "draining",
 		slog.Float64("timeout_s", s.cfg.DrainTimeout.Seconds()))
+	// Jobs drain first: running fit jobs get most of the budget to
+	// finish (stragglers are canceled through their contexts), and a
+	// draining job engine closes its event streams, which unblocks any
+	// in-flight /v1/jobs/{id}/events requests before srv.Shutdown waits
+	// on them. The front-loaded slice keeps time in reserve for the
+	// HTTP drain itself.
+	jctx, jcancel := context.WithTimeout(dctx, s.cfg.DrainTimeout*4/5)
+	jerr := s.jobs.Close(jctx)
+	jcancel()
+	if jerr != nil {
+		_, _ = fmt.Fprintln(stderr, "archlined: job drain:", jerr)
+		s.log.LogAttrs(dctx, slog.LevelWarn, "job drain incomplete",
+			slog.String("error", jerr.Error()))
+	}
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("server: drain: %w", err)
 	}

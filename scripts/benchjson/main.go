@@ -10,7 +10,10 @@
 // trailing -GOMAXPROCS token split off), the iteration count, and every
 // "value unit" pair the line reports — ns/op, B/op, allocs/op, and any
 // custom b.ReportMetric units. Context lines (goos, goarch, pkg, cpu)
-// are attached to the records that follow them.
+// are attached to the records that follow them. A "host" block records
+// the converting machine's Go version, GOMAXPROCS, and CPU count so two
+// committed snapshots are comparable at a glance — benchjson runs on
+// the same host as the bench, so its runtime answers describe the run.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -31,11 +35,20 @@ type record struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// hostInfo describes the machine that ran the benchmarks, captured at
+// conversion time (the bench pipeline runs benchjson on the same host).
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
 // document is the full parsed run.
 type document struct {
 	GOOS       string   `json:"goos,omitempty"`
 	GOARCH     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	Host       hostInfo `json:"host"`
 	Benchmarks []record `json:"benchmarks"`
 }
 
@@ -70,7 +83,14 @@ func parseLine(pkg, line string) (record, bool) {
 }
 
 func run() error {
-	doc := document{Benchmarks: []record{}}
+	doc := document{
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
+		Benchmarks: []record{},
+	}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)

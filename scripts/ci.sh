@@ -43,7 +43,10 @@ echo "ci: archlined smoke test"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/archlined" ./cmd/archlined
-"$tmpdir/archlined" -addr 127.0.0.1:0 >"$tmpdir/daemon.log" 2>&1 &
+# Two job workers and a small queue so the smoke probe's job-lifecycle
+# leg exercises the async fit engine with the same knobs ops would set.
+"$tmpdir/archlined" -addr 127.0.0.1:0 -job-workers 2 -job-queue 4 -job-ttl 1m \
+    >"$tmpdir/daemon.log" 2>&1 &
 daemon_pid=$!
 
 base=""

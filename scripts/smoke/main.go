@@ -3,7 +3,9 @@
 // determinism (two identical requests must return identical bytes), the
 // metrics exposition (including line-level format validity),
 // X-Request-Id echo, the /v1/batch fan-out (duplicate items identical,
-// bad items failing in-slot), and the NDJSON sweep stream protocol. With -chaos it instead asserts graceful
+// bad items failing in-slot), the NDJSON sweep stream protocol, and the
+// async fit-job lifecycle (submit, poll to terminal, grade, cancel
+// mid-flight). With -chaos it instead asserts graceful
 // degradation against a daemon running with chaos middleware enabled:
 // every failure must carry the JSON error envelope (no naked 5xx),
 // every 429/503 must carry Retry-After, and liveness must survive. It
@@ -105,13 +107,117 @@ func main() {
 	checkExpositionFormat(string(metrics))
 	checkRequestIDEcho(client, *base)
 
-	// The batch and streaming probes run after the metrics assertions
-	// above: those pin exact counter values (one eval, one cache hit)
-	// and anything evaluated here would shift them.
+	// The batch, streaming, and job probes run after the metrics
+	// assertions above: those pin exact counter values (one eval, one
+	// cache hit) and anything evaluated here would shift them.
 	checkBatch(client, *base)
 	checkSweepStream(client, *base)
+	checkJobLifecycle(client, *base)
 
 	fmt.Println("smoke: OK")
+}
+
+// jobInfo mirrors the wire shape of /v1/fit and /v1/jobs/{id} bodies.
+type jobInfo struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Result struct {
+		Grade string `json:"grade"`
+	} `json:"result"`
+}
+
+// checkJobLifecycle probes the async fit-job engine end to end: submit
+// a clean-profile fit, poll it to a terminal state and assert the fit
+// grade, then cancel a second, deliberately slower job mid-flight and
+// require it to land canceled. Runs after the exact-counter metrics
+// assertions so the job counters it checks are the only job activity.
+func checkJobLifecycle(client *http.Client, base string) {
+	// Job 1: a clean fit that must finish and grade well.
+	job := submitFit(client, base, `{"platform_id":"gtx-titan","fault_profile":"none","seed":42}`)
+	final := pollJob(client, base, job.ID, 2*time.Minute)
+	if final.State != "done" {
+		log.Fatalf("smoke: fit job %s ended %q (error %q), want done", job.ID, final.State, final.Error)
+	}
+	if g := final.Result.Grade; g != "A" && g != "B" {
+		log.Fatalf("smoke: clean-profile fit graded %q, want A or B", g)
+	}
+
+	// Job 2: a deliberately heavy fit (max repeats and sweep points),
+	// canceled right after submit; cancellation must land promptly.
+	job2 := submitFit(client, base,
+		`{"platform_id":"gtx-titan","fault_profile":"none","repeats":10,"sweep_points":256}`)
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+job2.ID, nil)
+	if err != nil {
+		log.Fatalf("smoke: job cancel: %v", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatalf("smoke: job cancel: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("smoke: job cancel status %d, want 200", resp.StatusCode)
+	}
+	final2 := pollJob(client, base, job2.ID, 30*time.Second)
+	if final2.State != "canceled" {
+		log.Fatalf("smoke: job %s ended %q after DELETE, want canceled", job2.ID, final2.State)
+	}
+
+	// The job counters saw exactly these two jobs.
+	metrics, err := getBody(client, base+"/metrics")
+	if err != nil {
+		log.Fatalf("smoke: metrics after jobs: %v", err)
+	}
+	for _, want := range []string{
+		"archlined_jobs_submitted_total 2",
+		`archlined_jobs_finished_total{state="done"} 1`,
+		`archlined_jobs_finished_total{state="canceled"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			log.Fatalf("smoke: metrics missing %q after job lifecycle", want)
+		}
+	}
+}
+
+// submitFit POSTs a fit request and returns the accepted job info.
+func submitFit(client *http.Client, base, body string) jobInfo {
+	resp, err := client.Post(base+"/v1/fit", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatalf("smoke: fit submit: %v", err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		log.Fatalf("smoke: fit submit read: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("smoke: fit submit status %d, want 202: %s", resp.StatusCode, out)
+	}
+	var job jobInfo
+	if err := json.Unmarshal(out, &job); err != nil || job.ID == "" {
+		log.Fatalf("smoke: fit submit JSON %q: %v", out, err)
+	}
+	return job
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job is terminal.
+func pollJob(client *http.Client, base, id string, deadline time.Duration) jobInfo {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		var job jobInfo
+		if err := getJSON(client, base+"/v1/jobs/"+id, &job); err != nil {
+			log.Fatalf("smoke: job poll: %v", err)
+		}
+		switch job.State {
+		case "done", "failed", "canceled":
+			return job
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	log.Fatalf("smoke: job %s did not reach a terminal state within %v", id, deadline)
+	return jobInfo{}
 }
 
 // checkBatch probes POST /v1/batch: duplicate items must come back
