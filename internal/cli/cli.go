@@ -184,6 +184,10 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 			"queued-job cap beyond the running ones before POST /v1/fit sheds with 429 (0 = default 16, negative disables queueing)")
 		jobTTL = fs.Duration("job-ttl", 0,
 			"how long finished jobs stay pollable before eviction (0 = default 15m)")
+		dataDir = fs.String("data-dir", "",
+			"directory for the persistent platform registry; empty runs it in memory (uploads rejected)")
+		regShards = fs.Int("registry-shards", 0,
+			"consistent-hash shard count for the platform registry (0 = default 8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return ExitUsage
@@ -215,6 +219,8 @@ func serveMain(args []string, stdout, stderr io.Writer) int {
 		JobWorkers:     *jobWorkers,
 		JobQueueDepth:  *jobQueue,
 		JobTTL:         *jobTTL,
+		DataDir:        *dataDir,
+		RegistryShards: *regShards,
 	}
 	var tf *os.File
 	if *traceLog != "" {

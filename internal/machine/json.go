@@ -1,10 +1,12 @@
 package machine
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"archline/internal/model"
 	"archline/internal/units"
@@ -70,8 +72,111 @@ var classIDs = map[Class]string{
 	ClassCoprocessor: "coprocessor",
 }
 
-// FromJSON decodes a platform description. It validates the resulting
-// model parameters, so a malformed datasheet fails loudly.
+// MaxIDLength bounds platform IDs: they become URL path segments and
+// registry index keys, so they stay short and filesystem-safe.
+const MaxIDLength = 64
+
+// ValidID reports whether id is acceptable as a platform identifier:
+// 1-64 characters, lowercase alphanumerics plus '.', '_', '-', starting
+// with a letter or digit. The restriction keeps IDs safe as URL path
+// segments, cache-key fragments, and on-disk registry names.
+func ValidID(id string) bool {
+	if id == "" || len(id) > MaxIDLength {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validate is the strict platform-description check shared by every
+// ingestion path (-platform-file, uploads, the registry's recovery
+// scan). Beyond the structural checks FromJSON always made, it rejects
+// non-finite and negative quantities field by field and constrains the
+// ID to the registry-safe character set, so a malformed or hostile
+// description fails loudly instead of producing NaN physics.
+func (pj *platformJSON) validate() error {
+	if pj.ID == "" || pj.Name == "" {
+		return errors.New("machine: platform needs id and name")
+	}
+	if !ValidID(pj.ID) {
+		return fmt.Errorf("machine: invalid platform id %q (want 1-%d chars of [a-z0-9._-], starting alphanumeric)",
+			pj.ID, MaxIDLength)
+	}
+	if _, ok := classNames[pj.Class]; !ok {
+		return fmt.Errorf("machine: unknown class %q (want desktop|mini|mobile|coprocessor)", pj.Class)
+	}
+	if pj.CacheLine <= 0 {
+		return errors.New("machine: cache_line_bytes must be positive")
+	}
+	// Every numeric quantity is physically non-negative; the must-have
+	// rates are strictly positive (model.Params.Validate re-checks the
+	// derived parameters, but catching the raw field gives the uploader
+	// an error naming their own JSON key).
+	type fieldCheck struct {
+		name     string
+		v        float64
+		positive bool
+	}
+	checks := []fieldCheck{
+		{"vendor_single_gflops", pj.VendorSingleGflops, false},
+		{"vendor_double_gflops", pj.VendorDoubleGflops, false},
+		{"vendor_mem_gbs", pj.VendorMemGBs, false},
+		{"idle_w", pj.IdleW, false},
+		{"sustained_single_gflops", pj.SustainedSingleGflops, true},
+		{"sustained_double_gflops", pj.SustainedDoubleGflops, false},
+		{"sustained_mem_gbs", pj.SustainedMemGBs, true},
+		{"eps_s_pj_per_flop", pj.EpsSPJ, false},
+		{"eps_d_pj_per_flop", pj.EpsDPJ, false},
+		{"eps_mem_pj_per_byte", pj.EpsMemPJ, false},
+		{"pi1_w", pj.Pi1W, false},
+		{"delta_pi_w", pj.DeltaPiW, false},
+		{"eps_rand_nj_per_access", pj.RandEpsNJ, false},
+		{"rand_macc_per_s", pj.RandMaccs, false},
+		{"process_nm", float64(pj.ProcessNM), false},
+		{"l1_size_bytes", float64(pj.L1SizeBytes), false},
+		{"l2_size_bytes", float64(pj.L2SizeBytes), false},
+	}
+	if pj.L1 != nil {
+		checks = append(checks,
+			fieldCheck{"l1.eps_pj_per_byte", pj.L1.EpsPJ, false},
+			fieldCheck{"l1.bw_gbs", pj.L1.BWGBs, true})
+	}
+	if pj.L2 != nil {
+		checks = append(checks,
+			fieldCheck{"l2.eps_pj_per_byte", pj.L2.EpsPJ, false},
+			fieldCheck{"l2.bw_gbs", pj.L2.BWGBs, true})
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("machine: %s is not finite (%v)", c.name, c.v)
+		}
+		if c.v < 0 {
+			return fmt.Errorf("machine: %s must be >= 0, got %v", c.name, c.v)
+		}
+		if c.positive && c.v == 0 {
+			return fmt.Errorf("machine: %s must be > 0", c.name)
+		}
+	}
+	return nil
+}
+
+// FromJSON decodes a platform description under the strict validator:
+// unknown fields, trailing JSON documents, non-finite or negative
+// quantities, and registry-unsafe IDs are all rejected, and the derived
+// model parameters are validated, so a malformed datasheet fails loudly.
+// This is the single ingestion path shared by `-platform-file`, the
+// POST /v1/platforms upload, and the registry's startup recovery scan.
 func FromJSON(r io.Reader) (*Platform, error) {
 	var pj platformJSON
 	dec := json.NewDecoder(r)
@@ -79,16 +184,16 @@ func FromJSON(r io.Reader) (*Platform, error) {
 	if err := dec.Decode(&pj); err != nil {
 		return nil, fmt.Errorf("machine: decoding platform: %w", err)
 	}
-	if pj.ID == "" || pj.Name == "" {
-		return nil, errors.New("machine: platform needs id and name")
+	// A second document (or trailing garbage) after the description is
+	// someone concatenating files or truncation corruption; either way
+	// the description's boundary is ambiguous, so reject it.
+	if dec.More() {
+		return nil, errors.New("machine: trailing data after the platform description")
 	}
-	class, ok := classNames[pj.Class]
-	if !ok {
-		return nil, fmt.Errorf("machine: unknown class %q (want desktop|mini|mobile|coprocessor)", pj.Class)
+	if err := pj.validate(); err != nil {
+		return nil, err
 	}
-	if pj.CacheLine <= 0 {
-		return nil, errors.New("machine: cache_line_bytes must be positive")
-	}
+	class := classNames[pj.Class]
 	p := &Platform{
 		ID:        ID(pj.ID),
 		Name:      pj.Name,
@@ -190,4 +295,25 @@ func ToJSON(w io.Writer, p *Platform) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(pj)
+}
+
+// Canonical returns the platform's deterministic compact JSON encoding:
+// ToJSON's field order with all inter-token whitespace removed. Two
+// descriptions of the same platform (however formatted) canonicalize to
+// identical bytes, so content hashes over this encoding are stable
+// identity: the registry's blob envelopes, ETags, and the response
+// cache's custom-platform key fragments are all derived from it. The
+// compact form is also exactly what encoding/json re-emits when the
+// bytes are embedded as a RawMessage, so an envelope round-trips
+// through marshal/unmarshal without perturbing the hashed bytes.
+func Canonical(p *Platform) ([]byte, error) {
+	var pretty bytes.Buffer
+	if err := ToJSON(&pretty, p); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, pretty.Bytes()); err != nil {
+		return nil, fmt.Errorf("machine: canonicalizing: %w", err)
+	}
+	return buf.Bytes(), nil
 }

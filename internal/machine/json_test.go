@@ -111,6 +111,32 @@ func TestFromJSONErrors(t *testing.T) {
 			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1,
 			"l1":{"eps_pj_per_byte":100,"bw_gbs":100},
 			"l2":{"eps_pj_per_byte":50,"bw_gbs":50}}`,
+		"trailing document": `{"id":"x","name":"y","class":"mini","cache_line_bytes":64,
+			"sustained_single_gflops":10,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1}
+			{"second":"doc"}`,
+		"negative energy": `{"id":"x","name":"y","class":"mini","cache_line_bytes":64,
+			"sustained_single_gflops":10,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":-10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1}`,
+		"negative idle": `{"id":"x","name":"y","class":"mini","cache_line_bytes":64,"idle_w":-5,
+			"sustained_single_gflops":10,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1}`,
+		"overflowing float": `{"id":"x","name":"y","class":"mini","cache_line_bytes":64,
+			"sustained_single_gflops":1e999,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1}`,
+		"zero l1 bandwidth": `{"id":"x","name":"y","class":"mini","cache_line_bytes":64,
+			"sustained_single_gflops":10,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1,
+			"l1":{"eps_pj_per_byte":5,"bw_gbs":0}}`,
+		"uppercase id": `{"id":"My-GPU","name":"y","class":"mini","cache_line_bytes":64,
+			"sustained_single_gflops":10,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1}`,
+		"id with slash": `{"id":"a/b","name":"y","class":"mini","cache_line_bytes":64,
+			"sustained_single_gflops":10,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1}`,
+		"id leading dot": `{"id":".hidden","name":"y","class":"mini","cache_line_bytes":64,
+			"sustained_single_gflops":10,"sustained_mem_gbs":10,
+			"eps_s_pj_per_flop":10,"eps_mem_pj_per_byte":10,"pi1_w":1,"delta_pi_w":1}`,
 	}
 	for name, src := range cases {
 		if _, err := FromJSON(strings.NewReader(src)); err == nil {
@@ -119,6 +145,58 @@ func TestFromJSONErrors(t *testing.T) {
 	}
 	if err := ToJSON(&bytes.Buffer{}, nil); err == nil {
 		t.Error("nil platform should error")
+	}
+}
+
+func TestValidID(t *testing.T) {
+	valid := []string{"gtx-titan", "a", "x.1_b-2", strings.Repeat("a", MaxIDLength)}
+	for _, id := range valid {
+		if !ValidID(id) {
+			t.Errorf("ValidID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{"", "A", "a b", "a/b", "-lead", ".lead", "_lead", "ä",
+		strings.Repeat("a", MaxIDLength+1)}
+	for _, id := range invalid {
+		if ValidID(id) {
+			t.Errorf("ValidID(%q) = true, want false", id)
+		}
+	}
+	// Every Table I ID must stay valid: the registry serves them.
+	for _, p := range All() {
+		if !ValidID(string(p.ID)) {
+			t.Errorf("built-in ID %q fails ValidID", p.ID)
+		}
+	}
+}
+
+// TestCanonicalDeterministic pins the property the registry's content
+// hashes rely on: decoding the same description bytes always
+// canonicalizes to identical bytes, so one uploaded document maps to
+// exactly one content hash. (A decode→encode round trip is not an exact
+// float fixed point on every platform; the registry therefore hashes
+// the canonical bytes it stored at upload time, never a re-encoding.)
+func TestCanonicalDeterministic(t *testing.T) {
+	for _, p := range All() {
+		src, err := Canonical(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		var outs [][]byte
+		for i := 0; i < 2; i++ {
+			back, err := FromJSON(bytes.NewReader(src))
+			if err != nil {
+				t.Fatalf("%s: decode canonical: %v", p.Name, err)
+			}
+			c, err := Canonical(back)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			outs = append(outs, c)
+		}
+		if !bytes.Equal(outs[0], outs[1]) {
+			t.Errorf("%s: same input bytes canonicalized differently", p.Name)
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+package registry
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the number of virtual nodes per shard. 64 points per
+// shard keeps the assignment spread within a few percent of uniform
+// for the shard counts this process runs (≤ 64) while the whole ring
+// stays a few KiB.
+const ringReplicas = 64
+
+// ring is a consistent-hash ring mapping platform IDs to shards. The
+// assignment depends only on (id, shard count), never on insertion
+// order, so the same ID lands on the same shard across restarts — and
+// when the shard count grows, only ~1/N of IDs move, the property that
+// makes the in-process shards a stepping stone to true horizontal
+// sharding (ROADMAP).
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// hashKey is FNV-1a with a splitmix64-style finalizer. Raw FNV of
+// short, near-identical strings ("shard-0/1", "shard-0/2", …) leaves
+// the high bits — which dominate ring ordering — badly clustered; the
+// multiply-xor-shift avalanche spreads them, which is what makes the
+// per-shard load within a few percent of uniform.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func newRing(shards int) *ring {
+	r := &ring{points: make([]ringPoint, 0, shards*ringReplicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < ringReplicas; v++ {
+			key := "shard-" + strconv.Itoa(s) + "/" + strconv.Itoa(v)
+			r.points = append(r.points, ringPoint{hash: hashKey(key), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.shard < b.shard // deterministic on the (unlikely) collision
+	})
+	return r
+}
+
+// shard returns the shard owning id: the first ring point clockwise
+// from the id's hash, wrapping past the top.
+func (r *ring) shard(id string) int {
+	h := hashKey(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

@@ -8,7 +8,6 @@ import (
 	"math"
 	"net/http"
 	"strconv"
-	"strings"
 
 	"archline/internal/machine"
 	"archline/internal/model"
@@ -35,36 +34,41 @@ func nf(x float64) *float64 {
 	return &x
 }
 
-// platformRef selects a machine: either a built-in Table I platform by
-// ID, or a caller-supplied description in the -platform-file JSON schema.
+// platformRef selects a machine: a platform ID (built-in Table I or a
+// registered upload), or a caller-supplied inline description in the
+// -platform-file JSON schema.
 type platformRef struct {
 	ID     string          `json:"platform_id,omitempty"`
 	Custom json.RawMessage `json:"platform,omitempty"`
 }
 
-// resolve returns the platform plus a canonical cache-key fragment: the
-// ID for built-ins, the deterministic re-encoding for custom platforms
-// (so formatting variations of the same description share a cache slot).
-func (ref platformRef) resolve() (*machine.Platform, string, *apiError) {
+// resolvePlatform returns the platform plus a canonical cache-key
+// fragment. IDs resolve through the registry — one path for built-ins
+// and uploads — and their fragment carries the entry's version
+// ("id:<id>@v<N>"), so a response cached against a platform that is
+// later re-uploaded is structurally unreachable: the new version makes
+// a new key. Inline custom platforms key on their canonical encoding,
+// so formatting variations of one description share a cache slot.
+func (s *Server) resolvePlatform(ref platformRef) (*machine.Platform, string, *apiError) {
 	switch {
 	case ref.ID != "" && len(ref.Custom) > 0:
 		return nil, "", errBadRequest("give either platform_id or platform, not both")
 	case ref.ID != "":
-		plat, err := machine.ByID(machine.ID(ref.ID))
+		e, err := s.registry.Get(ref.ID)
 		if err != nil {
-			return nil, "", errNotFound("unknown platform %q (GET /v1/platforms lists the Table I set)", ref.ID)
+			return nil, "", errNotFound("unknown platform %q (GET /v1/platforms lists the registry)", ref.ID)
 		}
-		return plat, "id:" + ref.ID, nil
+		return e.Platform, e.CacheKey(), nil
 	case len(ref.Custom) > 0:
 		plat, err := machine.FromJSON(bytes.NewReader(ref.Custom))
 		if err != nil {
 			return nil, "", errBadRequest("bad custom platform: %v", err)
 		}
-		var canon strings.Builder
-		if err := machine.ToJSON(&canon, plat); err != nil {
+		canon, err := machine.Canonical(plat)
+		if err != nil {
 			return nil, "", errInternal("canonicalizing platform: %v", err)
 		}
-		return plat, "json:" + canon.String(), nil
+		return plat, "json:" + string(canon), nil
 	default:
 		return nil, "", errBadRequest("a platform is required: set platform_id or an inline platform description")
 	}
@@ -111,10 +115,15 @@ type platformsResponse struct {
 }
 
 func (s *Server) handlePlatforms(_ http.ResponseWriter, _ *http.Request) (any, *apiError) {
-	resp, aerr := s.cachedJSON("platforms", func() (any, *apiError) {
+	// The key carries the registry generation: any upload, re-upload, or
+	// delete mints a new key, so the listing can never serve a stale
+	// membership snapshot (the superseded key simply ages out of the LRU).
+	key := "platforms@g" + strconv.FormatUint(s.registry.Generation(), 10)
+	resp, aerr := s.cachedJSON(key, func() (any, *apiError) {
 		s.noteEval()
 		out := platformsResponse{}
-		for _, p := range machine.All() {
+		for _, e := range s.registry.List() {
+			p := e.Platform
 			out.Platforms = append(out.Platforms, platformInfo{
 				ID:                 string(p.ID),
 				Name:               p.Name,
@@ -279,10 +288,11 @@ func sweepRoofline(ctx context.Context, id, name, precision string, p model.Para
 
 func (s *Server) handleRoofline(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
 	id := r.PathValue("id")
-	plat, err := machine.ByID(machine.ID(id))
+	e, err := s.registry.Get(id)
 	if err != nil {
-		return nil, errNotFound("unknown platform %q (GET /v1/platforms lists the Table I set)", id)
+		return nil, errNotFound("unknown platform %q (GET /v1/platforms lists the registry)", id)
 	}
+	plat := e.Platform
 	g, aerr := parseSweepQuery(r)
 	if aerr != nil {
 		return nil, aerr
@@ -295,7 +305,7 @@ func (s *Server) handleRoofline(_ http.ResponseWriter, r *http.Request) (any, *a
 	if precision == "" {
 		precision = "single"
 	}
-	key := fmt.Sprintf("roofline|%s|%s|%g|%g|%d", id, precision, g.IMin, g.IMax, g.Points)
+	key := fmt.Sprintf("roofline|%s|%s|%g|%g|%d", e.CacheKey(), precision, g.IMin, g.IMax, g.Points)
 	ctx := r.Context()
 	resp, aerr := s.cachedJSON(key, func() (any, *apiError) {
 		s.noteEval()
@@ -356,7 +366,7 @@ func (s *Server) handleQuery(_ http.ResponseWriter, r *http.Request) (any, *apiE
 // batch item, an equivalent single query, and a concurrent duplicate
 // all share one cache slot and at most one model evaluation.
 func (s *Server) evalQuery(req queryRequest) (*cachedResponse, *apiError) {
-	plat, platKey, aerr := req.platformRef.resolve()
+	plat, platKey, aerr := s.resolvePlatform(req.platformRef)
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -490,11 +500,11 @@ func (s *Server) handleCompare(_ http.ResponseWriter, r *http.Request) (any, *ap
 	if aerr := s.decodeBody(r, &req); aerr != nil {
 		return nil, aerr
 	}
-	a, aKey, aerr := req.A.resolve()
+	a, aKey, aerr := s.resolvePlatform(req.A)
 	if aerr != nil {
 		return nil, aerr
 	}
-	b, bKey, aerr := req.B.resolve()
+	b, bKey, aerr := s.resolvePlatform(req.B)
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -603,7 +613,7 @@ func (s *Server) handleWhatIf(_ http.ResponseWriter, r *http.Request) (any, *api
 }
 
 func (s *Server) whatifThrottle(req whatifRequest) (any, *apiError) {
-	plat, platKey, aerr := req.Platform.resolve()
+	plat, platKey, aerr := s.resolvePlatform(req.Platform)
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -655,11 +665,11 @@ func (s *Server) whatifThrottle(req whatifRequest) (any, *apiError) {
 }
 
 func (s *Server) whatifBound(req whatifRequest) (any, *apiError) {
-	big, bigKey, aerr := req.Big.resolve()
+	big, bigKey, aerr := s.resolvePlatform(req.Big)
 	if aerr != nil {
 		return nil, aerr
 	}
-	small, smallKey, aerr := req.Small.resolve()
+	small, smallKey, aerr := s.resolvePlatform(req.Small)
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -699,11 +709,11 @@ func (s *Server) whatifBound(req whatifRequest) (any, *apiError) {
 }
 
 func (s *Server) whatifAggregate(req whatifRequest) (any, *apiError) {
-	big, bigKey, aerr := req.Big.resolve()
+	big, bigKey, aerr := s.resolvePlatform(req.Big)
 	if aerr != nil {
 		return nil, aerr
 	}
-	small, smallKey, aerr := req.Small.resolve()
+	small, smallKey, aerr := s.resolvePlatform(req.Small)
 	if aerr != nil {
 		return nil, aerr
 	}

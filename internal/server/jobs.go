@@ -162,7 +162,7 @@ func (s *Server) handleFitSubmit(w http.ResponseWriter, r *http.Request) (any, *
 	if aerr := s.decodeBody(r, &req); aerr != nil {
 		return nil, aerr
 	}
-	plat, _, aerr := req.platformRef.resolve()
+	plat, _, aerr := s.resolvePlatform(req.platformRef)
 	if aerr != nil {
 		return nil, aerr
 	}

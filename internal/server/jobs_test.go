@@ -448,7 +448,8 @@ func TestMethodNotAllowedSetsAllow(t *testing.T) {
 		method, path, wantAllow string
 	}{
 		{http.MethodGet, "/v1/query", "POST"},
-		{http.MethodDelete, "/v1/platforms", "GET"},
+		{http.MethodDelete, "/v1/platforms", "GET, POST"},
+		{http.MethodPost, "/v1/platforms/arndale-cpu", "DELETE, GET"},
 		{http.MethodPost, "/v1/jobs/job-x", "DELETE, GET"},
 		{http.MethodPut, "/v1/fit", "POST"},
 	} {

@@ -65,6 +65,18 @@ func errTooLarge(limit int64) *apiError {
 		Message: fmt.Sprintf("request body exceeds the %d-byte limit", limit)}
 }
 
+func errConflict(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusConflict, Code: "conflict", Message: fmt.Sprintf(format, args...)}
+}
+
+// errRegistryReadOnly is a 403 (not 503: the daemon is healthy and the
+// circuit breaker must not count it) for mutations against a registry
+// with no backing data directory.
+func errRegistryReadOnly() *apiError {
+	return &apiError{Status: http.StatusForbidden, Code: "registry_read_only",
+		Message: "platform uploads need durable storage: start archlined with -data-dir"}
+}
+
 func errTimeout() *apiError {
 	return &apiError{Status: http.StatusGatewayTimeout, Code: "deadline_exceeded",
 		Message: "request exceeded its processing deadline"}

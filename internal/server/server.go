@@ -38,10 +38,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"archline/internal/jobs"
 	"archline/internal/obs"
+	"archline/internal/registry"
 )
 
 // Config tunes the daemon.
@@ -101,6 +103,16 @@ type Config struct {
 	// JobTTL is how long finished jobs stay pollable before eviction.
 	// Zero takes the jobs-package default (15 minutes).
 	JobTTL time.Duration
+	// DataDir, when set, is the persistent platform-registry directory
+	// (the archlined -data-dir flag): uploaded platforms are committed
+	// there crash-safely and recovered on startup. Empty keeps the
+	// registry in memory — built-ins still resolve through it, but
+	// POST /v1/platforms answers 503.
+	DataDir string
+	// RegistryShards is how many consistent-hash shards the registry
+	// index splits into; the response cache splits its lock domains the
+	// same number of ways. Zero takes registry.DefaultShards.
+	RegistryShards int
 }
 
 // Defaults for zero Config fields.
@@ -138,16 +150,17 @@ func (c Config) withDefaults() Config {
 // Server is the archlined service: routing, response cache, in-flight
 // deduplication, and metrics.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	cache   *lruCache
-	flights *flightGroup
-	metrics *Metrics
-	breaker *circuitBreaker
-	jobs    *jobs.Engine
-	chaos   *chaosInjector
-	tracer  *obs.Tracer // nil unless Config.TraceWriter is set
-	log     *slog.Logger
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *shardedCache
+	flights  *flightGroup
+	metrics  *Metrics
+	breaker  *circuitBreaker
+	jobs     *jobs.Engine
+	registry *registry.Registry
+	chaos    *chaosInjector
+	tracer   *obs.Tracer // nil unless Config.TraceWriter is set
+	log      *slog.Logger
 	// initErr holds a construction failure (e.g. an unknown chaos
 	// profile); Run surfaces it before listening.
 	initErr error
@@ -161,10 +174,14 @@ type Server struct {
 // New builds a Server from the config (zero fields take defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	shards := cfg.RegistryShards
+	if shards <= 0 {
+		shards = registry.DefaultShards
+	}
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		cache:   newLRUCache(cfg.CacheEntries),
+		cache:   newShardedCache(cfg.CacheEntries, shards),
 		flights: newFlightGroup(),
 		metrics: NewMetrics(),
 		breaker: newCircuitBreaker(cfg.BreakerWindow, cfg.BreakerErrRate,
@@ -176,6 +193,34 @@ func New(cfg Config) *Server {
 		}),
 	}
 	s.chaos, s.initErr = newChaosInjector(cfg.ChaosProfile, cfg.ChaosSeed, nil)
+	// The registry is the single platform-resolution path: built-ins
+	// always, plus durable uploads when a data directory is configured.
+	var regErr error
+	if cfg.DataDir != "" {
+		s.registry, regErr = registry.Open(cfg.DataDir, shards)
+	} else {
+		s.registry, regErr = registry.OpenMemory(shards)
+	}
+	if regErr != nil {
+		if s.initErr == nil {
+			s.initErr = regErr
+		}
+		// Keep the server structurally complete so tests and embedders
+		// holding a *Server never nil-deref; Run refuses to start.
+		s.registry, _ = registry.OpenMemory(shards)
+	}
+	if s.registry != nil {
+		// Runs under the owning registry shard's lock: the version bump
+		// and the eviction of every response keyed to the retired
+		// version are one atomic step from any resolver's viewpoint.
+		s.registry.SetInvalidator(func(id string, _ uint64) {
+			frag := "id:" + id + "@v"
+			s.cache.invalidate(func(key string) bool {
+				return strings.Contains(key, frag)
+			})
+		})
+		s.metrics.registryProbe = s.registry.Stats
+	}
 	s.metrics.breakerProbe = s.breaker.snapshot
 	s.metrics.jobsProbe = s.jobs.Stats
 	if cfg.TraceWriter != nil {
@@ -189,7 +234,8 @@ func New(cfg Config) *Server {
 	}
 	s.handle("/healthz", methodHandlers{"GET": s.handleHealthz})
 	s.handle("/metrics", methodHandlers{"GET": s.handleMetrics})
-	s.handle("/v1/platforms", methodHandlers{"GET": s.handlePlatforms})
+	s.handle("/v1/platforms", methodHandlers{"GET": s.handlePlatforms, "POST": s.handlePlatformUpload})
+	s.handle("/v1/platforms/{id}", methodHandlers{"GET": s.handlePlatformGet, "DELETE": s.handlePlatformDelete})
 	s.handle("/v1/platforms/{id}/roofline", methodHandlers{"GET": s.handleRoofline})
 	s.handle("/v1/query", methodHandlers{"POST": s.handleQuery})
 	s.handle("/v1/batch", methodHandlers{"POST": s.handleBatch})
@@ -299,6 +345,16 @@ func (s *Server) Run(ctx context.Context, stdout, stderr io.Writer) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	_, _ = fmt.Fprintf(stdout, "archlined listening on http://%s\n", ln.Addr())
+	if s.cfg.DataDir != "" {
+		rec := s.registry.Recovery()
+		_, _ = fmt.Fprintf(stdout,
+			"archlined: registry %s: recovered %d uploaded platform(s), %d tombstone(s), quarantined %d, pruned %d\n",
+			s.cfg.DataDir, rec.Loaded, rec.Tombstones, rec.Quarantined, rec.Pruned)
+		s.log.LogAttrs(ctx, slog.LevelInfo, "registry recovered",
+			slog.String("data_dir", s.cfg.DataDir), slog.Int("loaded", rec.Loaded),
+			slog.Int("tombstones", rec.Tombstones), slog.Int("quarantined", rec.Quarantined),
+			slog.Int("pruned", rec.Pruned))
+	}
 	if s.chaos != nil {
 		_, _ = fmt.Fprintf(stdout, "archlined: CHAOS MODE enabled (profile %s, seed %d)\n",
 			s.cfg.ChaosProfile, s.cfg.ChaosSeed)

@@ -354,8 +354,18 @@ func TestNotFoundAndMethodNotAllowed(t *testing.T) {
 	status, body := get(t, ts.URL+"/v2/nothing")
 	wantError(t, status, body, http.StatusNotFound, "not_found")
 
-	status, body = post(t, ts.URL+"/v1/platforms", `{}`)
-	wantError(t, status, body, http.StatusMethodNotAllowed, "method_not_allowed")
+	// PUT: /v1/platforms takes GET (list) and POST (upload), nothing else.
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/platforms", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	wantError(t, resp.StatusCode, putBody, http.StatusMethodNotAllowed, "method_not_allowed")
 
 	status, body = get(t, ts.URL+"/v1/query")
 	wantError(t, status, body, http.StatusMethodNotAllowed, "method_not_allowed")

@@ -44,8 +44,10 @@ tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/archlined" ./cmd/archlined
 # Two job workers and a small queue so the smoke probe's job-lifecycle
-# leg exercises the async fit engine with the same knobs ops would set.
+# leg exercises the async fit engine with the same knobs ops would set;
+# a data directory so the registry probe's uploads have durable storage.
 "$tmpdir/archlined" -addr 127.0.0.1:0 -job-workers 2 -job-queue 4 -job-ttl 1m \
+    -data-dir "$tmpdir/data" \
     >"$tmpdir/daemon.log" 2>&1 &
 daemon_pid=$!
 
@@ -114,5 +116,80 @@ if ! wait "$chaos_pid"; then
     exit 1
 fi
 kill "$chaos_watchdog_pid" 2>/dev/null || true
+
+echo "ci: archlined crash-recovery drill"
+# Commit one registry upload, SIGKILL the daemon with no warning, plant
+# a corrupt blob in the store, restart over the same data directory, and
+# require the acknowledged upload back (same ETag) with the corruption
+# quarantined — the registry's durability contract, end to end.
+crash_data="$tmpdir/crashdata"
+"$tmpdir/archlined" -addr 127.0.0.1:0 -data-dir "$crash_data" \
+    >"$tmpdir/crash.log" 2>&1 &
+crash_pid=$!
+
+crash_base=""
+for _ in $(seq 1 50); do
+    crash_base=$(sed -n 's/^archlined listening on \(.*\)$/\1/p' "$tmpdir/crash.log")
+    [ -n "$crash_base" ] && break
+    sleep 0.1
+done
+if [ -z "$crash_base" ]; then
+    echo "ci: crash-drill archlined never announced its address" >&2
+    cat "$tmpdir/crash.log" >&2
+    kill "$crash_pid" 2>/dev/null || true
+    exit 1
+fi
+
+commit_line=$(go run ./scripts/smoke -base "$crash_base" -crash-commit)
+etag=$(printf '%s\n' "$commit_line" | sed -n 's/^smoke: committed //p')
+if [ -z "$etag" ]; then
+    echo "ci: crash-commit probe printed no sentinel: $commit_line" >&2
+    kill -9 "$crash_pid" 2>/dev/null || true
+    exit 1
+fi
+
+# No SIGTERM, no drain: the acknowledged write must already be on disk.
+kill -9 "$crash_pid"
+wait "$crash_pid" 2>/dev/null || true
+
+# Bit-rot: a blob whose content no longer matches its content address.
+printf 'not a registry envelope' \
+    >"$crash_data/blobs/$(printf 'c%.0s' $(seq 1 64)).json"
+
+"$tmpdir/archlined" -addr 127.0.0.1:0 -data-dir "$crash_data" \
+    >"$tmpdir/recover.log" 2>&1 &
+recover_pid=$!
+
+recover_base=""
+for _ in $(seq 1 50); do
+    recover_base=$(sed -n 's/^archlined listening on \(.*\)$/\1/p' "$tmpdir/recover.log")
+    [ -n "$recover_base" ] && break
+    sleep 0.1
+done
+if [ -z "$recover_base" ]; then
+    echo "ci: recovered archlined never announced its address" >&2
+    cat "$tmpdir/recover.log" >&2
+    kill "$recover_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! grep -q 'recovered 1 uploaded platform' "$tmpdir/recover.log"; then
+    echo "ci: restart did not report the recovered upload" >&2
+    cat "$tmpdir/recover.log" >&2
+    kill "$recover_pid" 2>/dev/null || true
+    exit 1
+fi
+
+go run ./scripts/smoke -base "$recover_base" -verify-recover \
+    -etag "$etag" -want-quarantined 1
+
+kill -TERM "$recover_pid"
+( sleep 5; kill -9 "$recover_pid" 2>/dev/null ) &
+recover_watchdog_pid=$!
+if ! wait "$recover_pid"; then
+    echo "ci: recovered archlined did not drain cleanly on SIGTERM" >&2
+    cat "$tmpdir/recover.log" >&2
+    exit 1
+fi
+kill "$recover_watchdog_pid" 2>/dev/null || true
 
 echo "ci: OK"

@@ -29,6 +29,13 @@ import (
 func main() {
 	base := flag.String("base", "", "archlined base URL (required)")
 	chaos := flag.Bool("chaos", false, "probe a chaos-mode daemon for graceful degradation")
+	crashCommit := flag.Bool("crash-commit", false,
+		"commit one registry upload, print its ETag, and exit (the harness kills the daemon next)")
+	verifyRecover := flag.Bool("verify-recover", false,
+		"assert a restarted daemon recovered the -crash-commit upload")
+	wantETag := flag.String("etag", "", "with -verify-recover: the ETag the recovered upload must carry")
+	wantQuarantined := flag.Int("want-quarantined", -1,
+		"with -verify-recover: exact archlined_registry_quarantined_blobs_total (negative skips)")
 	flag.Parse()
 	if *base == "" {
 		log.Fatal("smoke: -base is required")
@@ -37,6 +44,18 @@ func main() {
 	if *chaos {
 		chaosProbe(client, *base)
 		fmt.Println("smoke: chaos OK")
+		return
+	}
+	if *crashCommit {
+		etag := crashCommitProbe(client, *base)
+		// The harness greps this sentinel, then SIGKILLs the daemon: the
+		// acknowledged upload must survive the crash.
+		fmt.Printf("smoke: committed %s\n", etag)
+		return
+	}
+	if *verifyRecover {
+		verifyRecoverProbe(client, *base, *wantETag, *wantQuarantined)
+		fmt.Println("smoke: recovery OK")
 		return
 	}
 
@@ -107,14 +126,182 @@ func main() {
 	checkExpositionFormat(string(metrics))
 	checkRequestIDEcho(client, *base)
 
-	// The batch, streaming, and job probes run after the metrics
-	// assertions above: those pin exact counter values (one eval, one
-	// cache hit) and anything evaluated here would shift them.
+	// The batch, streaming, job, and registry probes run after the
+	// metrics assertions above: those pin exact counter values (one
+	// eval, one cache hit) and anything evaluated here would shift them.
 	checkBatch(client, *base)
 	checkSweepStream(client, *base)
 	checkJobLifecycle(client, *base)
+	checkRegistry(client, *base)
 
 	fmt.Println("smoke: OK")
+}
+
+// smokePlatform is a minimal valid platform description for the
+// registry probes; the gflops knob changes its model outputs.
+func smokePlatform(id string, gflops float64) string {
+	return fmt.Sprintf(`{
+		"id": %q, "name": "Smoke %s", "class": "mini", "cache_line_bytes": 64,
+		"vendor_single_gflops": %g, "vendor_mem_gbs": 20, "idle_w": 3,
+		"sustained_single_gflops": %g, "sustained_mem_gbs": 10,
+		"eps_s_pj_per_flop": 40, "eps_mem_pj_per_byte": 300,
+		"pi1_w": 2, "delta_pi_w": 4
+	}`, id, id, gflops*1.25, gflops)
+}
+
+// uploadPlatform POSTs one platform description and returns the
+// response ETag, asserting the expected status and outcome.
+func uploadPlatform(client *http.Client, base, body string, wantStatus int, wantOutcome string) string {
+	resp, err := client.Post(base+"/v1/platforms", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatalf("smoke: upload: %v", err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		log.Fatalf("smoke: upload read: %v", err)
+	}
+	if resp.StatusCode != wantStatus {
+		log.Fatalf("smoke: upload status %d, want %d: %s", resp.StatusCode, wantStatus, out)
+	}
+	var ack struct {
+		ETag    string `json:"etag"`
+		Outcome string `json:"outcome"`
+	}
+	if err := json.Unmarshal(out, &ack); err != nil || ack.ETag == "" {
+		log.Fatalf("smoke: upload ack %q: %v", out, err)
+	}
+	if ack.Outcome != wantOutcome {
+		log.Fatalf("smoke: upload outcome %q, want %q", ack.Outcome, wantOutcome)
+	}
+	return ack.ETag
+}
+
+// checkRegistry probes the persistent platform registry end to end:
+// upload, query through the uploaded entry, re-upload with different
+// content and require the query answer to change (the version-keyed
+// cache must never serve the old response), revalidate with
+// If-None-Match, and confirm the registry metric families counted it
+// all. Leaves the registry clean (the probe platform is deleted).
+func checkRegistry(client *http.Client, base string) {
+	const query = `{"platform_id":"smoke-board","intensity":1000}`
+	etag := uploadPlatform(client, base, smokePlatform("smoke-board", 8), http.StatusCreated, "created")
+
+	queryBody := func() string {
+		resp, err := client.Post(base+"/v1/query", "application/json", strings.NewReader(query))
+		if err != nil {
+			log.Fatalf("smoke: registry query: %v", err)
+		}
+		out, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			log.Fatalf("smoke: registry query status %d: %s (%v)", resp.StatusCode, out, err)
+		}
+		return string(out)
+	}
+	before := queryBody()
+	if again := queryBody(); again != before {
+		log.Fatal("smoke: identical registry queries returned different bytes")
+	}
+
+	// Re-upload with changed content; the next query must see it.
+	etag2 := uploadPlatform(client, base, smokePlatform("smoke-board", 16), http.StatusOK, "updated")
+	if etag2 == etag {
+		log.Fatal("smoke: re-upload kept the old ETag")
+	}
+	if after := queryBody(); after == before {
+		log.Fatal("smoke: query served a stale response after re-upload")
+	}
+
+	// Conditional GET: the current ETag revalidates to 304.
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/platforms/smoke-board", nil)
+	if err != nil {
+		log.Fatalf("smoke: registry revalidate: %v", err)
+	}
+	req.Header.Set("If-None-Match", etag2)
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatalf("smoke: registry revalidate: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		log.Fatalf("smoke: revalidation status %d, want 304", resp.StatusCode)
+	}
+
+	metrics, err := getBody(client, base+"/metrics")
+	if err != nil {
+		log.Fatalf("smoke: metrics after registry probe: %v", err)
+	}
+	for _, want := range []string{
+		"archlined_registry_uploads_total 2",
+		"archlined_registry_invalidations_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			log.Fatalf("smoke: metrics missing %q after registry probe", want)
+		}
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, base+"/v1/platforms/smoke-board", nil)
+	if err != nil {
+		log.Fatalf("smoke: registry delete: %v", err)
+	}
+	dresp, err := client.Do(del)
+	if err != nil {
+		log.Fatalf("smoke: registry delete: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, dresp.Body)
+	_ = dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		log.Fatalf("smoke: registry delete status %d, want 204", dresp.StatusCode)
+	}
+}
+
+// crashCommitProbe uploads one platform and returns its ETag. The
+// harness SIGKILLs the daemon right after the sentinel prints, so the
+// acknowledged write must already be durable on disk.
+func crashCommitProbe(client *http.Client, base string) string {
+	return uploadPlatform(client, base, smokePlatform("crash-probe", 12), http.StatusCreated, "created")
+}
+
+// verifyRecoverProbe asserts that a daemon restarted over the same data
+// directory recovered the -crash-commit upload: same ETag, still
+// queryable, and (when the harness planted corruption) the recovery
+// scan quarantined exactly the expected blobs.
+func verifyRecoverProbe(client *http.Client, base, wantETag string, wantQuarantined int) {
+	resp, err := client.Get(base + "/v1/platforms/crash-probe")
+	if err != nil {
+		log.Fatalf("smoke: recovery get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("smoke: recovery get status %d: %s (%v)", resp.StatusCode, body, err)
+	}
+	if wantETag != "" && resp.Header.Get("ETag") != wantETag {
+		log.Fatalf("smoke: recovered ETag %q, want %q (content changed across the crash?)",
+			resp.Header.Get("ETag"), wantETag)
+	}
+	qresp, err := client.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"platform_id":"crash-probe","intensity":1000}`))
+	if err != nil {
+		log.Fatalf("smoke: recovery query: %v", err)
+	}
+	qbody, err := io.ReadAll(qresp.Body)
+	_ = qresp.Body.Close()
+	if err != nil || qresp.StatusCode != http.StatusOK {
+		log.Fatalf("smoke: recovery query status %d: %s (%v)", qresp.StatusCode, qbody, err)
+	}
+	if wantQuarantined >= 0 {
+		metrics, err := getBody(client, base+"/metrics")
+		if err != nil {
+			log.Fatalf("smoke: recovery metrics: %v", err)
+		}
+		want := fmt.Sprintf("archlined_registry_quarantined_blobs_total %d", wantQuarantined)
+		if !strings.Contains(string(metrics), want) {
+			log.Fatalf("smoke: metrics missing %q after recovery", want)
+		}
+	}
 }
 
 // jobInfo mirrors the wire shape of /v1/fit and /v1/jobs/{id} bodies.
