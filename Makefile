@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check ci chaos fmt serve profile bench
+.PHONY: build test race vet lint check ci chaos fmt serve profile bench loadtest
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,13 @@ chaos:
 ## snapshots them to BENCH_engine.json via scripts/benchjson.
 bench:
 	./scripts/bench.sh
+
+## loadtest boots archlined on an ephemeral port, drives a deterministic
+## archloadgen pass at it, and enforces the committed latency budget
+## (scripts/load_budget.json) plus the metric-aggregation health
+## contract. Knobs: LOADTEST_DURATION, LOADTEST_BUDGET, LOADTEST_SEED.
+loadtest:
+	./scripts/loadgate.sh
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,41 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+
+	"archline/internal/stats"
+)
+
+// zipfPicker draws ranks 0..n-1 with P(k) proportional to 1/(k+1)^s via
+// inverse-CDF sampling over a precomputed table. Rank 0 is the hottest.
+// The repo's seeded stats.Stream supplies the uniform deviates, so
+// draws are deterministic per seed (math/rand's Zipf would drag in a
+// second RNG discipline).
+type zipfPicker struct {
+	cum []float64 // cumulative normalized weights
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	if n < 1 {
+		n = 1
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+// pick draws one rank.
+func (z *zipfPicker) pick(rng *stats.Stream) int {
+	x := rng.Float64()
+	// The first cumulative weight >= x; Float64 is in [0,1) and the last
+	// entry is 1, so the search always lands in range.
+	return sort.SearchFloat64s(z.cum, x)
+}

@@ -1,0 +1,85 @@
+package agg
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkAggRecord measures the hot recording path: one counter
+// increment plus one timer append against warmed cells, the exact work
+// the server does per finished request. The acceptance bar is 0
+// allocs/op; see TestZeroAllocHotPath for the enforced pin.
+func BenchmarkAggRecord(b *testing.B) {
+	a := New(Config{})
+	c := a.Counter("reqs", 2, func([]string, float64) {}, Opts{})
+	tm := a.Timer("lat", 1, func([]string, []float64) {}, Opts{})
+	c.Add2("/v1/query", "200", 1)
+	tm.Observe1("/v1/query", 0.001)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add2("/v1/query", "200", 1)
+		tm.Observe1("/v1/query", 0.001)
+		if i%1024 == 0 {
+			// Keep the timer ring from spending the whole benchmark in
+			// overwrite mode accounting drops.
+			b.StopTimer()
+			a.Flush()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkAggRecordParallel drives the same recording from all
+// available procs across a spread of label tuples: the striped shards
+// must keep goroutines from serializing on one lock (the
+// lock-contention-collapse check; run with -cpu 8 to pin the
+// 8-goroutine figure).
+func BenchmarkAggRecordParallel(b *testing.B) {
+	a := New(Config{})
+	c := a.Counter("reqs", 2, func([]string, float64) {}, Opts{})
+	endpoints := []string{
+		"/v1/query", "/v1/batch", "/v1/compare", "/v1/whatif",
+		"/v1/platforms", "/v1/fit", "/healthz", "/metrics",
+	}
+	for _, ep := range endpoints {
+		c.Add2(ep, "200", 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Add2(endpoints[i&7], "200", 1)
+			i++
+		}
+	})
+}
+
+// BenchmarkAggFlush measures a flush over a realistic population: 64
+// counter series with pending deltas and 16 timer series with full
+// rings, the per-interval cost the flusher goroutine pays.
+func BenchmarkAggFlush(b *testing.B) {
+	a := New(Config{})
+	c := a.Counter("reqs", 1, func([]string, float64) {}, Opts{})
+	tm := a.Timer("lat", 1, func([]string, []float64) {}, Opts{TimerCap: 256})
+	eps := make([]string, 64)
+	for i := range eps {
+		eps[i] = "/v1/endpoint-" + strconv.Itoa(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for _, ep := range eps {
+			c.Add1(ep, 1)
+		}
+		for j := 0; j < 16; j++ {
+			for k := 0; k < 256; k++ {
+				tm.Observe1(eps[j], float64(k)*0.0001)
+			}
+		}
+		b.StartTimer()
+		a.Flush()
+	}
+}

@@ -25,10 +25,22 @@ var DefBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// DefaultMaxSeriesPerFamily caps how many labelled series one family
+// may intern. A caller that labels a metric with unbounded input (user
+// IDs, raw paths) would otherwise grow the exposition — and the heap —
+// without limit; past the cap, writes against new label tuples land in
+// a shared blackhole series and are counted in obs_dropped_series_total
+// instead of being stored.
+const DefaultMaxSeriesPerFamily = 1024
+
 // Registry holds metric families and renders the exposition.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
+	mu        sync.Mutex
+	families  map[string]*family
+	maxSeries int
+
+	droppedMu sync.Mutex
+	dropped   map[string]uint64 // family name -> series refused by the cap
 }
 
 // family is one named metric with a fixed label schema.
@@ -39,8 +51,15 @@ type family struct {
 	labels  []string
 	buckets []float64 // histogram bounds (nil otherwise)
 
+	reg       *Registry // owner, for drop accounting
+	maxSeries int       // cap captured at registration
+
 	mu     sync.Mutex
 	series map[string]*series
+	// overflow absorbs writes refused by the cap: callers get a real
+	// series (the nil-safety contract of Counter/Gauge/Histogram is
+	// preserved) but it is never rendered.
+	overflow *series
 
 	// collect, when set, replaces stored series at render time.
 	collect func(emit func(labelValues []string, value float64))
@@ -57,9 +76,49 @@ type series struct {
 	sum    float64  // histogram sum of observations
 }
 
-// NewRegistry builds an empty registry.
+// NewRegistry builds an empty registry. Every registry carries the
+// obs_dropped_series_total self-metric, emitted only once a family has
+// actually refused a series, so the exposition of a healthy registry is
+// unchanged.
 func NewRegistry() *Registry {
-	return &Registry{families: map[string]*family{}}
+	r := &Registry{
+		families:  map[string]*family{},
+		maxSeries: DefaultMaxSeriesPerFamily,
+		dropped:   map[string]uint64{},
+	}
+	r.Collect("obs_dropped_series_total",
+		"series resolutions refused by the per-family cardinality cap", "counter",
+		[]string{"family"}, func(emit func([]string, float64)) {
+			r.droppedMu.Lock()
+			defer r.droppedMu.Unlock()
+			names := make([]string, 0, len(r.dropped))
+			for name := range r.dropped {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				emit([]string{name}, float64(r.dropped[name]))
+			}
+		})
+	return r
+}
+
+// SetMaxSeriesPerFamily replaces the per-family series cap for families
+// registered afterwards. It exists for tests and special-purpose
+// registries; the default suits the daemon.
+func (r *Registry) SetMaxSeriesPerFamily(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > 0 {
+		r.maxSeries = n
+	}
+}
+
+// noteDroppedSeries counts one series refused by a family's cap.
+func (r *Registry) noteDroppedSeries(familyName string) {
+	r.droppedMu.Lock()
+	r.dropped[familyName]++
+	r.droppedMu.Unlock()
 }
 
 // register adds a family, panicking on a duplicate name: metric
@@ -71,6 +130,8 @@ func (r *Registry) register(f *family) *family {
 	if _, dup := r.families[f.name]; dup {
 		panic(fmt.Sprintf("obs: duplicate metric family %q", f.name))
 	}
+	f.reg = r
+	f.maxSeries = r.maxSeries
 	r.families[f.name] = f
 	return f
 }
@@ -124,6 +185,19 @@ func (f *family) with(values []string) *series {
 	defer f.mu.Unlock()
 	s, ok := f.series[key]
 	if !ok {
+		if f.maxSeries > 0 && len(f.series) >= f.maxSeries {
+			// Cardinality cap: spill to the blackhole series and count
+			// the refusal, so a runaway caller can't OOM the exposition
+			// path and the loss stays observable.
+			if f.overflow == nil {
+				f.overflow = &series{}
+				if f.typ == "histogram" {
+					f.overflow.counts = make([]uint64, len(f.buckets))
+				}
+			}
+			f.reg.noteDroppedSeries(f.name)
+			return f.overflow
+		}
 		s = &series{labels: append([]string(nil), values...)}
 		if f.typ == "histogram" {
 			s.counts = make([]uint64, len(f.buckets))

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -96,6 +97,67 @@ func TestLabelArityPanics(t *testing.T) {
 		}
 	}()
 	vec.With("only-one")
+}
+
+// TestSeriesCapSpills checks the per-family cardinality guard: past
+// the cap, new label tuples are refused (writes land in a blackhole,
+// never the exposition), the refusals are counted in
+// obs_dropped_series_total, and already-interned series keep recording.
+func TestSeriesCapSpills(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetMaxSeriesPerFamily(4)
+	vec := reg.Counter("by_user_total", "per-user requests", "user")
+	for i := 0; i < 6; i++ {
+		vec.With(fmt.Sprintf("user-%d", i)).Inc()
+	}
+	// Spilled writes must not lose the nil-safety contract: the
+	// returned counter works, it just isn't rendered.
+	vec.With("user-5").Add(10)
+	// An interned series still records normally.
+	vec.With("user-0").Inc()
+
+	exp := reg.Render()
+	for _, want := range []string{
+		`by_user_total{user="user-0"} 2`,
+		`by_user_total{user="user-3"} 1`,
+		// Three refused resolutions: user-4, user-5, and user-5 again —
+		// the counter tracks refused attempts, so sustained overflow
+		// pressure stays visible even at a saturated series count.
+		`obs_dropped_series_total{family="by_user_total"} 3`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, exp)
+		}
+	}
+	for _, reject := range []string{`user-4`, `user-5`} {
+		if strings.Contains(exp, reject) {
+			t.Errorf("capped series %q leaked into the exposition:\n%s", reject, exp)
+		}
+	}
+	if got := vec.Sum(); got != 5 {
+		t.Errorf("rendered family sums to %v, want 5 (spilled writes excluded)", got)
+	}
+
+	// Histograms spill to a bucketed blackhole without panicking.
+	reg2 := NewRegistry()
+	reg2.SetMaxSeriesPerFamily(1)
+	h := reg2.Histogram("lat", "latency", []float64{1}, "ep")
+	h.With("/a").Observe(0.5)
+	h.With("/b").Observe(0.5) // refused, must not panic on nil counts
+	if !strings.Contains(reg2.Render(), `obs_dropped_series_total{family="lat"} 1`) {
+		t.Error("histogram spill was not counted")
+	}
+}
+
+// TestSeriesCapUnbreachedIsInvisible checks a healthy registry renders
+// no drop counter at all — the guard must not change the exposition of
+// well-behaved callers.
+func TestSeriesCapUnbreachedIsInvisible(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ok_total", "fine").With().Inc()
+	if strings.Contains(reg.Render(), "obs_dropped_series_total") {
+		t.Error("drop counter rendered without any drops")
+	}
 }
 
 func TestFormatValue(t *testing.T) {

@@ -58,6 +58,7 @@ func (s *Server) resolvePlatform(ref platformRef) (*machine.Platform, string, *a
 		if err != nil {
 			return nil, "", errNotFound("unknown platform %q (GET /v1/platforms lists the registry)", ref.ID)
 		}
+		s.metrics.notePlatformQuery(ref.ID)
 		return e.Platform, e.CacheKey(), nil
 	case len(ref.Custom) > 0:
 		plat, err := machine.FromJSON(bytes.NewReader(ref.Custom))
@@ -68,6 +69,10 @@ func (s *Server) resolvePlatform(ref platformRef) (*machine.Platform, string, *a
 		if err != nil {
 			return nil, "", errInternal("canonicalizing platform: %v", err)
 		}
+		// Inline platforms share one counter bucket: their cardinality is
+		// unbounded and the interesting signal is "how much traffic skips
+		// the registry", not each ad-hoc description.
+		s.metrics.notePlatformQuery("inline")
 		return plat, "json:" + string(canon), nil
 	default:
 		return nil, "", errBadRequest("a platform is required: set platform_id or an inline platform description")
@@ -292,6 +297,7 @@ func (s *Server) handleRoofline(_ http.ResponseWriter, r *http.Request) (any, *a
 	if err != nil {
 		return nil, errNotFound("unknown platform %q (GET /v1/platforms lists the registry)", id)
 	}
+	s.metrics.notePlatformQuery(id)
 	plat := e.Platform
 	g, aerr := parseSweepQuery(r)
 	if aerr != nil {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -95,6 +96,113 @@ func TestMetricsConcurrentRender(t *testing.T) {
 	}
 	if !strings.Contains(m.Render(), `archlined_request_latency_samples{endpoint="/v1/query"} 1024`) {
 		t.Error("latency window did not report its full population")
+	}
+}
+
+// TestLatencyPathsAgree pins the double-accounting fix: one noteRequest
+// call feeds both latency surfaces through a single aggregation sink,
+// so every endpoint in the sliding-window summary also has duration
+// histogram counts, and the two populations are equal.
+func TestLatencyPathsAgree(t *testing.T) {
+	m := fixedMetrics()
+	m.noteRequest("/v1/query", 200, 10*time.Millisecond)
+	m.noteRequest("/v1/query", 200, 20*time.Millisecond)
+	m.noteRequest("/healthz", 200, time.Millisecond)
+	exp := m.Render()
+	for _, c := range []struct {
+		endpoint string
+		n        int
+	}{
+		{"/v1/query", 2},
+		{"/healthz", 1},
+	} {
+		window := `archlined_request_latency_samples{endpoint="` + c.endpoint + `"} ` + strconv.Itoa(c.n)
+		histo := `archlined_request_duration_seconds_count{endpoint="` + c.endpoint + `"} ` + strconv.Itoa(c.n)
+		quant := `archlined_request_latency_seconds{endpoint="` + c.endpoint + `",quantile="0.99"}`
+		for _, want := range []string{window, histo, quant} {
+			if !strings.Contains(exp, want) {
+				t.Errorf("exposition missing %q", want)
+			}
+		}
+	}
+}
+
+// TestPlatformQueryAggregation checks the per-platform counters and the
+// distinct-platform set flow through the aggregation stage into the
+// exposition, and that the set resets per interval while the counters
+// accumulate.
+func TestPlatformQueryAggregation(t *testing.T) {
+	m := fixedMetrics()
+	m.notePlatformQuery("gtx-titan")
+	m.notePlatformQuery("gtx-titan")
+	m.notePlatformQuery("i7-3615qm")
+	exp := m.Render()
+	for _, want := range []string{
+		`archlined_platform_queries_total{platform="gtx-titan"} 2`,
+		`archlined_platform_queries_total{platform="i7-3615qm"} 1`,
+		`archlined_distinct_platforms_queried 2`,
+		`archlined_agg_series{family="platform_queries"} 2`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, exp)
+		}
+	}
+
+	// Next interval: one platform queried again. The counter accumulates
+	// across flushes; the distinct gauge reflects only the new interval.
+	m.notePlatformQuery("gtx-titan")
+	exp = m.Render()
+	for _, want := range []string{
+		`archlined_platform_queries_total{platform="gtx-titan"} 3`,
+		`archlined_distinct_platforms_queried 1`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, exp)
+		}
+	}
+}
+
+// TestAggFlushAccounting checks only interval flushes (FlushAgg) count
+// toward archlined_agg_flushes_total and the flush age appears only
+// after the first one — render-time drains keep the exposition fresh
+// without masking a dead flusher.
+func TestAggFlushAccounting(t *testing.T) {
+	m := fixedMetrics()
+	m.noteRequest("/v1/query", 200, time.Millisecond)
+	exp := m.Render()
+	if !strings.Contains(exp, "archlined_agg_flushes_total 0") {
+		t.Error("render-time drain must not count as an interval flush")
+	}
+	if strings.Contains(exp, "archlined_agg_flush_age_seconds") {
+		t.Error("flush age rendered before any interval flush")
+	}
+
+	m.FlushAgg()
+	exp = m.Render()
+	if !strings.Contains(exp, "archlined_agg_flushes_total 1") {
+		t.Error("interval flush was not counted")
+	}
+	// The fixed clock pins every read after construction to t0+90s, so
+	// the age of a flush taken "now" renders as exactly zero.
+	if !strings.Contains(exp, "archlined_agg_flush_age_seconds 0") {
+		t.Errorf("flush age missing after an interval flush:\n%s", exp)
+	}
+}
+
+// TestPlatformQueryCardinalityCap floods notePlatformQuery past the
+// aggregation family's cap and checks the overflow is dropped and
+// counted rather than stored.
+func TestPlatformQueryCardinalityCap(t *testing.T) {
+	m := fixedMetrics()
+	for i := 0; i < 300; i++ {
+		m.notePlatformQuery("plat-" + strconv.Itoa(i))
+	}
+	exp := m.Render()
+	if !strings.Contains(exp, `archlined_agg_series{family="platform_queries"} 256`) {
+		t.Error("platform_queries family grew past its 256-series cap")
+	}
+	if !strings.Contains(exp, `archlined_agg_dropped_series_total{family="platform_queries"} 44`) {
+		t.Errorf("44 over-cap recordings were not counted dropped:\n%s", exp)
 	}
 }
 

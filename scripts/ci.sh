@@ -66,6 +66,21 @@ fi
 
 go run ./scripts/smoke -base "$base"
 
+echo "ci: archloadgen load smoke"
+# A short deterministic load pass against the same daemon, gated on the
+# committed budget: nonzero throughput, no unexpected 5xx or transport
+# errors, and (-check-agg) the aggregation pipeline's health contract —
+# per-platform query counters materialized in /metrics and the interval
+# flusher alive and recent. Runs after the smoke probe because smoke
+# pins exact counter values that load traffic would shift.
+go build -o "$tmpdir/archloadgen" ./cmd/archloadgen
+"$tmpdir/archloadgen" -base "$base" -duration 2s -seed 42 -json \
+    -budget scripts/load_budget.json -check-agg >"$tmpdir/loadgen.json"
+grep -q '"requests"' "$tmpdir/loadgen.json" || {
+    echo "ci: archloadgen emitted no JSON report" >&2
+    exit 1
+}
+
 kill -TERM "$daemon_pid"
 # Clean drain within 5 s: a watchdog hard-kills on overrun, which makes
 # the daemon exit nonzero and fails the gate below.

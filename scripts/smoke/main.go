@@ -118,6 +118,14 @@ func main() {
 		"archlined_model_evals_total 1",
 		"# HELP archlined_requests_total",
 		"# TYPE archlined_request_duration_seconds histogram",
+		// The aggregation stage: both roofline requests above counted
+		// against gtx-titan (the response cache sits below the counter),
+		// and rendering /metrics drains the aggregator, so the
+		// per-platform series and the distinct-platforms gauge are exact
+		// here regardless of interval-flusher timing.
+		`archlined_platform_queries_total{platform="gtx-titan"} 2`,
+		"archlined_distinct_platforms_queried 1",
+		`archlined_agg_series{family="requests"}`,
 	} {
 		if !strings.Contains(string(metrics), want) {
 			log.Fatalf("smoke: metrics missing %q in:\n%s", want, metrics)
