@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check ci chaos fmt serve profile bench loadtest
+.PHONY: build test race vet lint check ci chaos fmt serve profile bench benchgate loadtest
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ chaos:
 ## snapshots them to BENCH_engine.json via scripts/benchjson.
 bench:
 	./scripts/bench.sh
+
+## benchgate runs a fresh quick bench pass and enforces the committed
+## perf budget: allocs/op ceilings plus a parallel-speedup floor that
+## arms only on hosts with >= 4 CPUs (scripts/bench_budget.json).
+benchgate:
+	./scripts/benchgate.sh
 
 ## loadtest boots archlined on an ephemeral port, drives a deterministic
 ## archloadgen pass at it, and enforces the committed latency budget

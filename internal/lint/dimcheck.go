@@ -32,7 +32,8 @@ import (
 // dimension of the operand, so units.Power(e.Joules()) is a finding.
 //
 // Sinks that intentionally accept dimensioned floats are declared with
-// a directive on the function's doc comment or the struct field:
+// a directive on the function's doc comment, the struct field, or the
+// struct type itself:
 //
 //	//archlint:dim <unit>
 //
@@ -40,7 +41,10 @@ import (
 // ("Energy/Time", "Time^2", "flop/byte"), "dimensionless"/"1", or
 // "any". An annotated field also gives the analyzer the field's
 // dimension: reads propagate it and stores of a conflicting derivable
-// dimension are flagged.
+// dimension are flagged. A directive on a struct type's doc comment is
+// the default for every float64 field of that struct — one annotation
+// covers a whole coefficient table — and a field-level directive
+// overrides it for that field.
 //
 // Known limits, by design (SSA-free): dataflow is path-insensitive (a
 // conditional reassignment simply overwrites the tracked dimension),
@@ -164,8 +168,10 @@ func runDimCheck(pass *Pass) {
 }
 
 // buildDimAnnotations scans //archlint:dim directives on function doc
-// comments and struct fields. pass is non-nil only for the package
-// currently under analysis, which reports malformed directives.
+// comments, struct types, and struct fields. A type-level directive is
+// the default for the struct's float64 fields; a field-level directive
+// overrides it. pass is non-nil only for the package currently under
+// analysis, which reports malformed directives.
 func buildDimAnnotations(files []*ast.File, info *types.Info, pass *Pass) *dimAnnotations {
 	anns := &dimAnnotations{
 		funcs:  map[*types.Func]dimAnn{},
@@ -211,17 +217,29 @@ func buildDimAnnotations(files []*ast.File, info *types.Info, pass *Pass) *dimAn
 					if !ok {
 						continue
 					}
+					// A directive on the type itself defaults every
+					// float64 field. In the common single-spec form
+					// (`// doc\ntype T struct {…}`) go/ast hangs the doc
+					// on the GenDecl, not the TypeSpec, so fall back.
+					typeAnn, typeOK := parse(ts.Doc)
+					if !typeOK && len(d.Specs) == 1 {
+						typeAnn, typeOK = parse(d.Doc)
+					}
 					for _, field := range st.Fields.List {
 						ann, ok := parse(field.Doc)
 						if !ok {
 							ann, ok = parse(field.Comment)
 						}
-						if !ok {
-							continue
-						}
 						for _, name := range field.Names {
-							if v, _ := info.Defs[name].(*types.Var); v != nil {
+							v, _ := info.Defs[name].(*types.Var)
+							if v == nil {
+								continue
+							}
+							switch {
+							case ok:
 								anns.fields[v] = ann
+							case typeOK && isFloat64(v.Type()):
+								anns.fields[v] = typeAnn
 							}
 						}
 					}

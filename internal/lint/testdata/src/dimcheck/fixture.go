@@ -103,3 +103,41 @@ func cleanAnnotated(e units.Energy, t units.Time) sample {
 func cleanScale(t units.Time) float64 {
 	return 2*t.Seconds() + 1e-9
 }
+
+// coeffs is a precomputed coefficient table: raw floats of several
+// different dimensions by design, blessed wholesale at the type level
+// instead of field by field.
+//
+//archlint:dim any
+type coeffs struct {
+	S2 float64 // seconds-squared: no units type names it
+	E  float64 // joules
+	N  int     // non-float fields are outside the directive's scope
+}
+
+// gauge declares one dimension for every float64 field at the type
+// level; a field-level directive overrides it for that field.
+//
+//archlint:dim Power
+type gauge struct {
+	Idle float64
+	Peak float64
+	//archlint:dim Energy
+	Budget float64
+}
+
+// Clean: the type-level any blesses unnamed dimensions landing raw.
+func cleanTypeAny(t units.Time, e units.Energy) coeffs {
+	return coeffs{S2: t.Seconds() * t.Seconds(), E: e.Joules()}
+}
+
+// Bad: the type-level default declares W but Peak receives J.
+func typeAnnotatedMismatch(e units.Energy) gauge {
+	return gauge{Peak: e.Joules()}
+}
+
+// Clean: Idle takes the declared power; Budget's field-level Energy
+// override beats the type-level Power default.
+func cleanTypeAnnotated(e units.Energy, t units.Time) gauge {
+	return gauge{Idle: e.Joules() / t.Seconds(), Budget: e.Joules()}
+}

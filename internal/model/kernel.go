@@ -1,0 +1,224 @@
+package model
+
+import (
+	"math"
+)
+
+// Kernel is the table-driven evaluator behind the sweep hot paths: the
+// handful of float64 coefficients eqs. (2), (4), and (7) need, computed
+// once per Params value (and therefore once per platform, precision,
+// DVFS setting, or cap fraction), so that evaluating one grid point is
+// straight-line float math — no interface dispatch, no map lookups,
+// and zero allocations.
+//
+// Every per-point method replicates the corresponding Params method's
+// floating-point operation sequence exactly, with the intensity-
+// independent subexpressions (B_tau, pi_flop, pi_mem, B_tau^±, the
+// Powerful predicate) hoisted to construction time. IEEE-754 arithmetic
+// is deterministic, so hoisting a subexpression that does not depend on
+// the grid point cannot change any result bit: Kernel output is
+// bit-identical to Params output for every input, which the
+// TestKernelMatchesParamsBitwise pin enforces across the platform
+// database.
+//
+// The fields are intentionally raw float64 — several (the cap terms,
+// reciprocal balances) have dimensions no units type names. The single
+// type-level directive below declares the whole coefficient table as a
+// dimensioned sink for archlint's dimcheck analyzer.
+//
+//archlint:dim any
+type Kernel struct {
+	tf, tm float64 // tau_flop (s/flop), tau_mem (s/B)
+	ef, em float64 // eps_flop (J/flop), eps_mem (J/B)
+	pi1    float64 // constant power (W)
+	dp     float64 // usable power cap DeltaPi (W)
+
+	bt       float64 // B_tau = tau_mem/tau_flop
+	pf, pm   float64 // pi_flop, pi_mem (W)
+	btPlus   float64 // B_tau^+ of eq. (5)
+	btMinus  float64 // B_tau^- of eq. (6)
+	powerful bool    // DeltaPi >= pi_flop + pi_mem: the cap never binds
+}
+
+// NewKernel precomputes the coefficient table for p. Construction costs
+// a few dozen flops; callers sweeping the same machine should build the
+// kernel once and reuse it across grid points and requests.
+func NewKernel(p Params) Kernel {
+	return Kernel{
+		tf:       float64(p.TauFlop),
+		tm:       float64(p.TauMem),
+		ef:       float64(p.EpsFlop),
+		em:       float64(p.EpsMem),
+		pi1:      p.Pi1.Watts(),
+		dp:       p.DeltaPi.Watts(),
+		bt:       p.TimeBalance().Ratio(),
+		pf:       p.PiFlop().Watts(),
+		pm:       p.PiMem().Watts(),
+		btPlus:   p.TimeBalancePlus().Ratio(),
+		btMinus:  p.TimeBalanceMinus().Ratio(),
+		powerful: p.Powerful(),
+	}
+}
+
+// timePerFlopAt is T/W from eq. (4), Params.timePerFlopAt with the
+// balance ratio read from the table.
+func (k *Kernel) timePerFlopAt(iv float64) float64 {
+	capTerm := 0.0
+	if dyn := k.ef + k.em/iv; dyn > 0 {
+		capTerm = dyn / k.dp / k.tf
+	}
+	return k.tf * math.Max(1, math.Max(k.bt/iv, capTerm))
+}
+
+// FlopRateAt is Params.FlopRateAt on a raw intensity ratio.
+func (k *Kernel) FlopRateAt(iv float64) float64 {
+	if iv <= 0 {
+		return 0
+	}
+	t := k.timePerFlopAt(iv)
+	if t <= 0 || math.IsInf(t, 1) {
+		return 0
+	}
+	return 1 / t
+}
+
+// FlopRateAtUncapped is Params.FlopRateAtUncapped on a raw ratio.
+func (k *Kernel) FlopRateAtUncapped(iv float64) float64 {
+	if iv <= 0 {
+		return 0
+	}
+	t := k.tf * math.Max(1, k.bt/iv)
+	return 1 / t
+}
+
+// EnergyPerFlopAt is Params.EnergyPerFlopAt on a raw ratio.
+func (k *Kernel) EnergyPerFlopAt(iv float64) float64 {
+	if iv <= 0 {
+		return math.Inf(1)
+	}
+	dyn := k.ef + k.em/iv
+	return dyn + k.pi1*k.timePerFlopAt(iv)
+}
+
+// FlopsPerJouleAt is Params.FlopsPerJouleAt on a raw ratio.
+func (k *Kernel) FlopsPerJouleAt(iv float64) float64 {
+	e := k.EnergyPerFlopAt(iv)
+	if e <= 0 || math.IsInf(e, 1) {
+		return 0
+	}
+	return 1 / e
+}
+
+// AvgPowerAt is eq. (7), Params.AvgPowerAt with the cap interval edges
+// read from the table.
+func (k *Kernel) AvgPowerAt(iv float64) float64 {
+	if iv <= 0 {
+		return math.NaN()
+	}
+	switch {
+	case iv >= k.btPlus:
+		return k.pi1 + k.pf + k.pm*k.bt/iv
+	case iv <= k.btMinus:
+		return k.pi1 + k.pf*iv/k.bt + k.pm
+	default:
+		return k.pi1 + k.dp
+	}
+}
+
+// RegimeAt is Params.RegimeAt on a raw ratio.
+func (k *Kernel) RegimeAt(iv float64) Regime {
+	if math.IsNaN(iv) {
+		return CapBound
+	}
+	if k.powerful {
+		if iv < k.bt {
+			return MemoryBound
+		}
+		return ComputeBound
+	}
+	switch {
+	case iv >= k.btPlus:
+		return ComputeBound
+	case iv <= k.btMinus:
+		return MemoryBound
+	default:
+		return CapBound
+	}
+}
+
+// ThrottleFactor is Params.ThrottleFactor on a raw ratio: the capped
+// over uncapped time of the unit-flop workload (W=1, Q=1/I).
+func (k *Kernel) ThrottleFactor(iv float64) float64 {
+	if iv <= 0 {
+		return 1
+	}
+	q := 1 / iv
+	tu := math.Max(k.tf, q*k.tm)
+	tMem := q * k.tm
+	dynamic := k.ef + q*k.em
+	tCap := 0.0
+	if dynamic > 0 {
+		tCap = dynamic / k.dp
+	}
+	tc := math.Max(k.tf, math.Max(tMem, tCap))
+	if tu <= 0 {
+		return 1
+	}
+	return tc / tu
+}
+
+// MetricAt is Params.MetricAt on a raw ratio.
+func (k *Kernel) MetricAt(m Metric, iv float64) float64 {
+	switch m {
+	case MetricFlopRate:
+		return k.FlopRateAt(iv)
+	case MetricFlopsPerJoule:
+		return k.FlopsPerJouleAt(iv)
+	case MetricAvgPower:
+		return k.AvgPowerAt(iv)
+	default:
+		return math.NaN()
+	}
+}
+
+// Point is one fully evaluated sweep sample: everything the roofline
+// endpoints report per grid point, as raw float64s. Throttle is the
+// raw throttle factor; consumers that need JSON-safe values must map
+// non-finite entries themselves (the stream encoder omits them).
+type Point struct {
+	Intensity           float64
+	Regime              Regime
+	FlopsPerSec         float64
+	UncappedFlopsPerSec float64
+	FlopsPerJoule       float64
+	AvgPowerW           float64
+	Throttle            float64
+}
+
+// PointAt evaluates every per-point metric at one intensity ratio. It
+// performs no allocations.
+func (k *Kernel) PointAt(iv float64) Point {
+	return Point{
+		Intensity:           iv,
+		Regime:              k.RegimeAt(iv),
+		FlopsPerSec:         k.FlopRateAt(iv),
+		UncappedFlopsPerSec: k.FlopRateAtUncapped(iv),
+		FlopsPerJoule:       k.FlopsPerJouleAt(iv),
+		AvgPowerW:           k.AvgPowerAt(iv),
+		Throttle:            k.ThrottleFactor(iv),
+	}
+}
+
+// AppendLogSpace appends the evaluated points with indices [start, end)
+// of an n-point log-spaced grid over [exp(l0), exp(l1)] — the same grid
+// formula LogSpace materializes, evaluated on the fly so streaming
+// callers never hold the full grid. dst is caller-owned: pre-size its
+// capacity to end-start and the call performs zero allocations.
+func (k *Kernel) AppendLogSpace(dst []Point, l0, l1 float64, start, end, n int) []Point {
+	for idx := start; idx < end; idx++ {
+		frac := float64(idx) / float64(n-1)
+		iv := math.Exp(l0 + frac*(l1-l0))
+		dst = append(dst, k.PointAt(iv))
+	}
+	return dst
+}

@@ -1,0 +1,189 @@
+package model_test
+
+import (
+	"math"
+	"testing"
+
+	"archline/internal/machine"
+	"archline/internal/model"
+	"archline/internal/units"
+)
+
+// kernelCases enumerates every Params value the bit-identity pin
+// sweeps: all Table I platforms in both precisions, each under the
+// figs. 6-7 cap schedule plus the degenerate zero cap, and one
+// "uploaded" machine that exists in no built-in table (the fit-input
+// shape a POST /v1/platforms upload carries).
+func kernelCases(t *testing.T) map[string]model.Params {
+	t.Helper()
+	cases := map[string]model.Params{}
+	for _, plat := range machine.All() {
+		cases[string(plat.ID)+"/single"] = plat.Single
+		if plat.SupportsDouble() {
+			p, err := plat.DoubleParams()
+			if err != nil {
+				t.Fatalf("%s: %v", plat.ID, err)
+			}
+			cases[string(plat.ID)+"/double"] = p
+		}
+	}
+	// An uploaded platform: Table I-shaped fit outputs, values that
+	// match no built-in row.
+	cases["uploaded/single"] = model.Params{
+		TauFlop: 7.3e-12,
+		TauMem:  1.9e-11,
+		EpsFlop: 7.7e-10,
+		EpsMem:  4.1e-9,
+		Pi1:     33.5,
+		DeltaPi: 71.25,
+	}
+	caps := map[string]float64{
+		"cap-half": 0.5, "cap-quarter": 0.25, "cap-eighth": 0.125, "cap-zero": 0,
+	}
+	out := map[string]model.Params{}
+	for name, p := range cases {
+		out[name] = p
+		for suffix, frac := range caps {
+			capped, err := p.WithCap(frac)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[name+"/"+suffix] = capped
+		}
+	}
+	return out
+}
+
+// kernelGrid is the intensity probe set: a dense log grid far wider
+// than any figure sweeps, plus the boundary and invalid inputs every
+// per-point method special-cases.
+func kernelGrid() []float64 {
+	grid := model.LogSpace(1e-4, 1e5, 1501)
+	out := make([]float64, 0, len(grid)+4)
+	out = append(out, 0, -1, -0.125, math.Inf(1))
+	for _, i := range grid {
+		out = append(out, i.Ratio())
+	}
+	return out
+}
+
+// TestKernelMatchesParamsBitwise is the refactor's contract: every
+// Kernel per-point method must reproduce the corresponding Params
+// method bit for bit — not approximately — on every platform, both
+// precisions, every cap setting, across the whole probe grid.
+func TestKernelMatchesParamsBitwise(t *testing.T) {
+	grid := kernelGrid()
+	for name, p := range kernelCases(t) {
+		k := model.NewKernel(p)
+		for _, iv := range grid {
+			i := units.Intensity(iv)
+			checks := []struct {
+				what      string
+				got, want float64
+			}{
+				{"FlopRateAt", k.FlopRateAt(iv), float64(p.FlopRateAt(i))},
+				{"FlopRateAtUncapped", k.FlopRateAtUncapped(iv), float64(p.FlopRateAtUncapped(i))},
+				{"EnergyPerFlopAt", k.EnergyPerFlopAt(iv), float64(p.EnergyPerFlopAt(i))},
+				{"FlopsPerJouleAt", k.FlopsPerJouleAt(iv), float64(p.FlopsPerJouleAt(i))},
+				{"AvgPowerAt", k.AvgPowerAt(iv), p.AvgPowerAt(i).Watts()},
+				{"ThrottleFactor", k.ThrottleFactor(iv), p.ThrottleFactor(i)},
+				{"MetricAt(rate)", k.MetricAt(model.MetricFlopRate, iv), p.MetricAt(model.MetricFlopRate, i)},
+				{"MetricAt(eff)", k.MetricAt(model.MetricFlopsPerJoule, iv), p.MetricAt(model.MetricFlopsPerJoule, i)},
+				{"MetricAt(power)", k.MetricAt(model.MetricAvgPower, iv), p.MetricAt(model.MetricAvgPower, i)},
+			}
+			for _, c := range checks {
+				if math.Float64bits(c.got) != math.Float64bits(c.want) {
+					t.Fatalf("%s: %s(%g) = %x (%g), Params gives %x (%g)",
+						name, c.what, iv, math.Float64bits(c.got), c.got,
+						math.Float64bits(c.want), c.want)
+				}
+			}
+			if got, want := k.RegimeAt(iv), p.RegimeAt(i); got != want {
+				t.Fatalf("%s: RegimeAt(%g) = %v, Params gives %v", name, iv, got, want)
+			}
+		}
+		// NaN intensity exercises the regime classifier's explicit
+		// NaN branch and eq. (7)'s fall-through arm.
+		nan := math.NaN()
+		if got, want := k.RegimeAt(nan), p.RegimeAt(units.Intensity(nan)); got != want {
+			t.Fatalf("%s: RegimeAt(NaN) = %v, Params gives %v", name, got, want)
+		}
+		if got, want := k.AvgPowerAt(nan), p.AvgPowerAt(units.Intensity(nan)).Watts(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("%s: AvgPowerAt(NaN) = %g, Params gives %g", name, got, want)
+		}
+	}
+}
+
+// TestKernelPointAtMatchesMethods: the bundled Point carries exactly
+// the individual methods' values.
+func TestKernelPointAtMatchesMethods(t *testing.T) {
+	p := machine.MustByID("gtx-titan").Single
+	k := model.NewKernel(p)
+	for _, iv := range []float64{0.125, 1, 4, 64, 512} {
+		pt := k.PointAt(iv)
+		if pt.Intensity != iv || pt.Regime != k.RegimeAt(iv) ||
+			pt.FlopsPerSec != k.FlopRateAt(iv) ||
+			pt.UncappedFlopsPerSec != k.FlopRateAtUncapped(iv) ||
+			pt.FlopsPerJoule != k.FlopsPerJouleAt(iv) ||
+			pt.AvgPowerW != k.AvgPowerAt(iv) ||
+			pt.Throttle != k.ThrottleFactor(iv) {
+			t.Fatalf("PointAt(%g) = %+v disagrees with the per-metric methods", iv, pt)
+		}
+	}
+}
+
+// TestAppendLogSpaceMatchesLogSpace: the on-the-fly grid is the same
+// grid LogSpace materializes, chunk boundaries included.
+func TestAppendLogSpaceMatchesLogSpace(t *testing.T) {
+	p := machine.MustByID("arndale-gpu").Single
+	k := model.NewKernel(p)
+	const n = 97
+	lo, hi := units.Intensity(0.01), units.Intensity(3000)
+	grid := model.LogSpace(lo, hi, n)
+	l0, l1 := math.Log(lo.Ratio()), math.Log(hi.Ratio())
+	var pts []model.Point
+	for start := 0; start < n; start += 16 { // uneven chunking on purpose
+		end := start + 16
+		if end > n {
+			end = n
+		}
+		pts = k.AppendLogSpace(pts, l0, l1, start, end, n)
+	}
+	if len(pts) != n {
+		t.Fatalf("appended %d points, want %d", len(pts), n)
+	}
+	for idx, pt := range pts {
+		iv := grid[idx].Ratio()
+		if math.Float64bits(pt.Intensity) != math.Float64bits(iv) {
+			t.Fatalf("point %d intensity %x, LogSpace gives %x", idx,
+				math.Float64bits(pt.Intensity), math.Float64bits(iv))
+		}
+		if want := k.PointAt(iv); pt != want {
+			t.Fatalf("point %d = %+v, PointAt gives %+v", idx, pt, want)
+		}
+	}
+}
+
+// TestKernelZeroAllocs pins the acceptance criterion directly: a full
+// chunk of grid-point evaluations into a pre-sized caller-owned buffer
+// performs zero allocations.
+func TestKernelZeroAllocs(t *testing.T) {
+	p := machine.MustByID("gtx-titan").Single
+	k := model.NewKernel(p)
+	buf := make([]model.Point, 0, 512)
+	l0, l1 := math.Log(0.001), math.Log(1000)
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = k.AppendLogSpace(buf[:0], l0, l1, 0, 512, 512)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendLogSpace allocates %.1f times per 512-point chunk, want 0", allocs)
+	}
+	var sink model.Point
+	allocs = testing.AllocsPerRun(50, func() {
+		sink = k.PointAt(4)
+	})
+	if allocs != 0 {
+		t.Fatalf("PointAt allocates %.1f times per call, want 0", allocs)
+	}
+	_ = sink
+}

@@ -93,6 +93,58 @@ func TestMapBoundsConcurrency(t *testing.T) {
 	}
 }
 
+// TestMapWidthIdentity: for a deterministic per-item fn, the results
+// slice is identical at every worker width — the contract the sweep and
+// batch layers rely on to keep outputs independent of scheduling. Item
+// counts straddle the chunking boundaries (n < workers, n not a chunk
+// multiple, n ≫ workers).
+func TestMapWidthIdentity(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 100, 257} {
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		ref, _ := Map(items, 1, func(idx, v int) (float64, error) {
+			return float64(v) * 1.0625, nil
+		})
+		for _, workers := range []int{2, 3, 4, 8, 16, 0} {
+			got, errs := Map(items, workers, func(idx, v int) (float64, error) {
+				return float64(v) * 1.0625, nil
+			})
+			if _, err := FirstError(errs); err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("n=%d workers=%d: result[%d] = %v, workers=1 gives %v",
+						n, workers, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMapDispatch measures pure dispatch overhead: fn is as cheap
+// as work gets, so the benchmark is dominated by how items reach
+// workers. Under the old per-item channel dispatch, workers=2 was
+// slower than workers=1 here; chunked dispatch removes that cliff.
+func BenchmarkMapDispatch(b *testing.B) {
+	items := make([]int, 4096)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for b.Loop() {
+				Map(items, workers, func(idx, v int) (int, error) {
+					return v + 1, nil
+				})
+			}
+		})
+	}
+}
+
 func TestMapEmpty(t *testing.T) {
 	got, errs := Map(nil, 4, func(idx int, v struct{}) (int, error) { return 1, nil })
 	if len(got) != 0 || len(errs) != 0 {

@@ -31,11 +31,28 @@ type Series struct {
 
 // SweepMetric evaluates a metric for a machine over a grid.
 func SweepMetric(name string, p model.Params, m model.Metric, grid []units.Intensity) Series {
-	s := Series{Name: name, Points: make([]MetricPoint, len(grid))}
-	for k, i := range grid {
-		s.Points[k] = MetricPoint{I: i, Value: p.MetricAt(m, i)}
+	k := model.NewKernel(p)
+	return sweepKernel(make([]MetricPoint, 0, len(grid)), name, &k, m, grid)
+}
+
+// SweepMetricInto is SweepMetric evaluating into dst's backing array
+// (append semantics: dst is truncated, filled, and returned inside the
+// Series). The caller owns dst and may hand the same buffer back on
+// the next sweep — at which point the previous Series' points are
+// overwritten, so retain at most one sweep per buffer.
+func SweepMetricInto(dst []MetricPoint, name string, p model.Params, m model.Metric, grid []units.Intensity) Series {
+	k := model.NewKernel(p)
+	return sweepKernel(dst[:0], name, &k, m, grid)
+}
+
+// sweepKernel appends one metric curve evaluated through a prebuilt
+// coefficient table. Shared by the public sweeps and CompareBlocks,
+// which reuses one kernel across its three metrics per machine.
+func sweepKernel(dst []MetricPoint, name string, k *model.Kernel, m model.Metric, grid []units.Intensity) Series {
+	for _, i := range grid {
+		dst = append(dst, MetricPoint{I: i, Value: k.MetricAt(m, i.Ratio())})
 	}
-	return s
+	return Series{Name: name, Points: dst}
 }
 
 // BlockComparison is the fig. 1 analysis: a big building block (A)
@@ -97,10 +114,22 @@ func CompareBlocks(aName string, a model.Params, bName string, b model.Params,
 		name string
 		p    model.Params
 	}{{aName, a}, {bName, b}, {aggName, agg}}
+	// All nine curves share one flat backing array (capacity is exact,
+	// so the sub-slices below never move), and each machine's three
+	// metrics share one coefficient table.
+	flat := make([]MetricPoint, 0, 9*len(grid))
+	sweep := func(name string, k *model.Kernel, m model.Metric) Series {
+		base := len(flat)
+		s := sweepKernel(flat, name, k, m, grid)
+		flat = s.Points
+		s.Points = flat[base:len(flat):len(flat)]
+		return s
+	}
 	for mi, mm := range machines {
-		bc.Perf[mi] = SweepMetric(mm.name, mm.p, model.MetricFlopRate, grid)
-		bc.Eff[mi] = SweepMetric(mm.name, mm.p, model.MetricFlopsPerJoule, grid)
-		bc.Power[mi] = SweepMetric(mm.name, mm.p, model.MetricAvgPower, grid)
+		k := model.NewKernel(mm.p)
+		bc.Perf[mi] = sweep(mm.name, &k, model.MetricFlopRate)
+		bc.Eff[mi] = sweep(mm.name, &k, model.MetricFlopsPerJoule)
+		bc.Power[mi] = sweep(mm.name, &k, model.MetricAvgPower)
 	}
 	// One shared refinement grid for both crossover scans: 4x the sweep
 	// resolution, built once instead of once per metric pair.
@@ -139,29 +168,45 @@ type ThrottleCurve struct {
 // ThrottleSweep evaluates the machine at each cap fraction over the grid,
 // reproducing the data behind figs. 6, 7a, and 7b.
 func ThrottleSweep(p model.Params, fracs []float64, grid []units.Intensity) ([]ThrottleCurve, error) {
+	return ThrottleSweepInto(nil, p, fracs, grid)
+}
+
+// ThrottleSweepInto is ThrottleSweep evaluating every curve into buf's
+// backing array (len(fracs)*len(grid) entries; grown once when short).
+// The caller owns buf: handing the same buffer to a later sweep
+// overwrites the earlier curves' points, so retain at most one sweep
+// per buffer. One coefficient table is built per cap setting — the
+// per-point loop is pure table arithmetic.
+func ThrottleSweepInto(buf []ThrottlePoint, p model.Params, fracs []float64, grid []units.Intensity) ([]ThrottleCurve, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if len(fracs) == 0 || len(grid) == 0 {
 		return nil, errors.New("scenario: need cap fractions and an intensity grid")
 	}
+	if need := len(fracs) * len(grid); cap(buf) < need {
+		buf = make([]ThrottlePoint, 0, need)
+	}
+	buf = buf[:0]
 	curves := make([]ThrottleCurve, 0, len(fracs))
 	for _, f := range fracs {
 		capped, err := p.WithCap(f)
 		if err != nil {
 			return nil, err
 		}
-		c := ThrottleCurve{Frac: f, Params: capped, Points: make([]ThrottlePoint, len(grid))}
-		for k, i := range grid {
-			c.Points[k] = ThrottlePoint{
+		k := model.NewKernel(capped)
+		base := len(buf)
+		for _, i := range grid {
+			iv := i.Ratio()
+			buf = append(buf, ThrottlePoint{
 				I:      i,
-				Power:  capped.AvgPowerAt(i),
-				Perf:   capped.FlopRateAt(i),
-				Eff:    capped.FlopsPerJouleAt(i),
-				Regime: capped.RegimeAt(i),
-			}
+				Power:  units.Power(k.AvgPowerAt(iv)),
+				Perf:   units.FlopRate(k.FlopRateAt(iv)),
+				Eff:    units.FlopsPerJoule(k.FlopsPerJouleAt(iv)),
+				Regime: k.RegimeAt(iv),
+			})
 		}
-		curves = append(curves, c)
+		curves = append(curves, ThrottleCurve{Frac: f, Params: capped, Points: buf[base:len(buf):len(buf)]})
 	}
 	return curves, nil
 }

@@ -255,8 +255,13 @@ type rooflineResponse struct {
 }
 
 // sweepRoofline evaluates the model over the grid; it is the shared
-// compute behind the roofline endpoint. The context bounds long sweeps.
-func sweepRoofline(ctx context.Context, id, name, precision string, p model.Params, g sweepGrid) (*rooflineResponse, *apiError) {
+// compute behind the roofline endpoint. The grid points go through the
+// kernel (the balance/peak summary stays on Params — once per response,
+// off the hot path), evaluated on the fly with the LogSpace formula so
+// the grid is never materialized; finite throttles share one exact-size
+// backing array instead of a per-point nf box. The context bounds long
+// sweeps.
+func sweepRoofline(ctx context.Context, id, name, precision string, p model.Params, k model.Kernel, g sweepGrid) (*rooflineResponse, *apiError) {
 	out := &rooflineResponse{
 		PlatformID: id, Name: name, Precision: precision,
 		IMin: g.IMin, IMax: g.IMax,
@@ -270,23 +275,30 @@ func sweepRoofline(ctx context.Context, id, name, precision string, p model.Para
 	out.Peak.FlopsPerJoule = p.PeakFlopsPerJoule().FlopsPerJoule()
 	out.Peak.AvgPowerW = p.PeakAvgPower().Watts()
 	out.CapBinds = !p.Powerful()
-	grid := model.LogSpace(units.Intensity(g.IMin), units.Intensity(g.IMax), g.Points)
-	out.Points = make([]rooflinePoint, 0, len(grid))
-	for k, i := range grid {
+	l0, l1 := math.Log(g.IMin), math.Log(g.IMax)
+	out.Points = make([]rooflinePoint, 0, g.Points)
+	throttles := make([]float64, g.Points)
+	for idx := 0; idx < g.Points; idx++ {
 		// Sweeps are cheap but unbounded in points; honour the request
 		// deadline without paying a context check per point.
-		if k%64 == 0 && ctx.Err() != nil {
+		if idx%64 == 0 && ctx.Err() != nil {
 			return nil, errTimeout()
 		}
-		out.Points = append(out.Points, rooflinePoint{
-			Intensity:           i.Ratio(),
-			Regime:              p.RegimeAt(i).Letter(),
-			FlopsPerSec:         p.FlopRateAt(i).FlopsPerSec(),
-			UncappedFlopsPerSec: p.FlopRateAtUncapped(i).FlopsPerSec(),
-			FlopsPerJoule:       p.FlopsPerJouleAt(i).FlopsPerJoule(),
-			AvgPowerW:           p.AvgPowerAt(i).Watts(),
-			Throttle:            nf(p.ThrottleFactor(i)),
-		})
+		frac := float64(idx) / float64(g.Points-1)
+		pt := k.PointAt(math.Exp(l0 + frac*(l1-l0)))
+		rp := rooflinePoint{
+			Intensity:           pt.Intensity,
+			Regime:              pt.Regime.Letter(),
+			FlopsPerSec:         pt.FlopsPerSec,
+			UncappedFlopsPerSec: pt.UncappedFlopsPerSec,
+			FlopsPerJoule:       pt.FlopsPerJoule,
+			AvgPowerW:           pt.AvgPowerW,
+		}
+		if t := pt.Throttle; !math.IsNaN(t) && !math.IsInf(t, 0) {
+			throttles[idx] = t
+			rp.Throttle = &throttles[idx]
+		}
+		out.Points = append(out.Points, rp)
 	}
 	return out, nil
 }
@@ -315,7 +327,8 @@ func (s *Server) handleRoofline(_ http.ResponseWriter, r *http.Request) (any, *a
 	ctx := r.Context()
 	resp, aerr := s.cachedJSON(key, func() (any, *apiError) {
 		s.noteEval()
-		return sweepRoofline(ctx, id, plat.Name, precision, p, g)
+		k := s.kernels.get(e.CacheKey()+"|"+precision, p)
+		return sweepRoofline(ctx, id, plat.Name, precision, p, k, g)
 	})
 	return resp, aerr
 }
@@ -431,13 +444,13 @@ func (s *Server) evalQuery(req queryRequest) (*cachedResponse, *apiError) {
 		if !(iv > 0) || math.IsInf(iv, 0) {
 			return nil, errBadRequest("intensity must be positive and finite, got %g", iv)
 		}
-		i := units.Intensity(iv)
+		k := s.kernels.get(platKey+"|"+precision, p)
 		out.Intensity = iv
-		out.Regime = p.RegimeAt(i).Letter()
-		out.FlopsPerSec = nf(p.FlopRateAt(i).FlopsPerSec())
-		out.FlopsPerJoule = nf(p.FlopsPerJouleAt(i).FlopsPerJoule())
-		out.AvgPowerW = nf(p.AvgPowerAt(i).Watts())
-		out.Throttle = nf(p.ThrottleFactor(i))
+		out.Regime = k.RegimeAt(iv).Letter()
+		out.FlopsPerSec = nf(k.FlopRateAt(iv))
+		out.FlopsPerJoule = nf(k.FlopsPerJouleAt(iv))
+		out.AvgPowerW = nf(k.AvgPowerAt(iv))
+		out.Throttle = nf(k.ThrottleFactor(iv))
 		return out, nil
 	})
 	return resp, aerr

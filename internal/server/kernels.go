@@ -1,0 +1,53 @@
+package server
+
+import (
+	"sync"
+
+	"archline/internal/model"
+)
+
+// kernelCache memoizes per-(platform, precision) coefficient tables so
+// repeated sweep and query traffic reuses one model.Kernel instead of
+// rebuilding it on every request. Keys embed the platform's
+// version-carrying cache fragment (resolvePlatform's "id:<id>@v<N>" or
+// "json:<canon>"), so a re-upload mints new keys and kernels built
+// against a retired platform version become structurally unreachable —
+// the same invalidation-by-keying scheme the response cache relies on.
+//
+// A kernel is a dozen float64s, so the cache is a flat map with a hard
+// entry cap; when full it resets wholesale rather than tracking
+// recency. Rebuilding a kernel costs a few dozen flops — cheaper than
+// any bookkeeping that would avoid the rebuild.
+type kernelCache struct {
+	mu  sync.RWMutex
+	cap int
+	m   map[string]model.Kernel
+}
+
+// newKernelCache builds a cache holding at most capacity kernels.
+func newKernelCache(capacity int) *kernelCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &kernelCache{cap: capacity, m: make(map[string]model.Kernel)}
+}
+
+// get returns the kernel for key, building and memoizing it from p on a
+// miss. Two concurrent misses may both build; they build identical
+// values (NewKernel is pure), so the race is benign and last-put wins.
+func (c *kernelCache) get(key string, p model.Params) model.Kernel {
+	c.mu.RLock()
+	k, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return k
+	}
+	k = model.NewKernel(p)
+	c.mu.Lock()
+	if len(c.m) >= c.cap {
+		clear(c.m)
+	}
+	c.m[key] = k
+	c.mu.Unlock()
+	return k
+}

@@ -166,6 +166,7 @@ type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	cache    *shardedCache
+	kernels  *kernelCache
 	flights  *flightGroup
 	metrics  *Metrics
 	breaker  *circuitBreaker
@@ -195,6 +196,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		cache:   newShardedCache(cfg.CacheEntries, shards),
+		kernels: newKernelCache(cfg.CacheEntries),
 		flights: newFlightGroup(),
 		metrics: NewMetrics(),
 		breaker: newCircuitBreaker(cfg.BreakerWindow, cfg.BreakerErrRate,

@@ -7,7 +7,7 @@ import (
 	"math"
 	"net/http"
 
-	"archline/internal/units"
+	"archline/internal/model"
 )
 
 // Streaming sweep bounds. The buffered sweep endpoints cap at maxPoints
@@ -43,7 +43,11 @@ type streamHeader struct {
 	ChunkPoints int     `json:"chunk_points"`
 }
 
-// streamChunk is one flushed slice of the sweep.
+// streamChunk is one flushed slice of the sweep. The handler does not
+// marshal this struct on the hot path — appendStreamChunk hand-rolls
+// the identical bytes into a pooled buffer — but the type remains the
+// schema of record: the encoder tests marshal it through encoding/json
+// and byte-compare.
 type streamChunk struct {
 	Seq    int             `json:"seq"`
 	Points []rooflinePoint `json:"points"`
@@ -70,7 +74,7 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) (any,
 	if aerr := s.decodeBody(r, &req); aerr != nil {
 		return nil, aerr
 	}
-	plat, _, aerr := s.resolvePlatform(req.platformRef)
+	plat, platKey, aerr := s.resolvePlatform(req.platformRef)
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -138,9 +142,18 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) (any,
 	flush()
 
 	// The grid is generated on the fly (the LogSpace formula, never
-	// materialized) and buffered one chunk at a time.
+	// materialized) and buffered one chunk at a time: the kernel
+	// evaluates a chunk into a pooled point buffer and the hand-rolled
+	// encoder renders it into a pooled line buffer, so the steady-state
+	// loop allocates nothing regardless of the grid size.
+	k := s.kernels.get(platKey+"|"+precision, p)
 	l0, l1 := math.Log(g.IMin), math.Log(g.IMax)
-	buf := make([]rooflinePoint, 0, chunk)
+	ptsPtr := pointBufs.Get().(*[]model.Point)
+	linePtr := lineBufs.Get().(*[]byte)
+	defer func() {
+		pointBufs.Put(ptsPtr)
+		lineBufs.Put(linePtr)
+	}()
 	chunks := 0
 	ctx := r.Context()
 	for start := 0; start < g.Points; start += chunk {
@@ -155,21 +168,14 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) (any,
 		if end > g.Points {
 			end = g.Points
 		}
-		buf = buf[:0]
-		for k := start; k < end; k++ {
-			frac := float64(k) / float64(g.Points-1)
-			i := units.Intensity(math.Exp(l0 + frac*(l1-l0)))
-			buf = append(buf, rooflinePoint{
-				Intensity:           i.Ratio(),
-				Regime:              p.RegimeAt(i).Letter(),
-				FlopsPerSec:         p.FlopRateAt(i).FlopsPerSec(),
-				UncappedFlopsPerSec: p.FlopRateAtUncapped(i).FlopsPerSec(),
-				FlopsPerJoule:       p.FlopsPerJouleAt(i).FlopsPerJoule(),
-				AvgPowerW:           p.AvgPowerAt(i).Watts(),
-				Throttle:            nf(p.ThrottleFactor(i)),
-			})
+		pts := k.AppendLogSpace((*ptsPtr)[:0], l0, l1, start, end, g.Points)
+		line, ok := appendStreamChunk((*linePtr)[:0], chunks, pts)
+		*linePtr = line[:0] // keep any growth for the next chunk
+		if ok {
+			// A failed write means the client went away — same silent
+			// treatment the encoder errors get.
+			_, _ = out.Write(line)
 		}
-		_ = enc.Encode(streamChunk{Seq: chunks, Points: buf})
 		flush()
 		chunks++
 	}

@@ -19,15 +19,25 @@ cd "$(dirname "$0")/.."
 out=${1:-BENCH_engine.json}
 benchtime=${BENCHTIME:-2x}
 count=${BENCHCOUNT:-1}
-pattern='^(BenchmarkSuiteRun|BenchmarkRunWorkers|BenchmarkResultFilters|BenchmarkBatchVsSequential|BenchmarkSweepStream)$'
+pattern='^(BenchmarkSuiteRun|BenchmarkRunWorkers|BenchmarkResultFilters|BenchmarkBatchVsSequential|BenchmarkSweepStream|BenchmarkMapDispatch)$'
 
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+trap 'rm -f "$tmp" "$tmp.prev"' EXIT
+
+# Keep the outgoing snapshot so benchjson can embed allocs/op deltas:
+# the new file then records its own trajectory against the old one.
+prevflag=""
+if [ -f "$out" ]; then
+    cp "$out" "$tmp.prev"
+    prevflag="-prev $tmp.prev"
+fi
 
 echo "bench: go test -bench (benchtime=$benchtime, count=$count)"
 go test -run '^$' -bench "$pattern" -benchmem \
     -benchtime "$benchtime" -count "$count" \
-    . ./internal/microbench/ ./internal/server/ | tee "$tmp"
+    . ./internal/microbench/ ./internal/server/ ./internal/pool/ | tee "$tmp"
 
-go run ./scripts/benchjson <"$tmp" >"$out"
+# $prevflag expands to zero or two words by design.
+# shellcheck disable=SC2086
+go run ./scripts/benchjson $prevflag <"$tmp" >"$out"
 echo "bench: wrote $out"

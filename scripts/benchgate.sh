@@ -1,0 +1,25 @@
+#!/bin/sh
+# benchgate.sh — enforce the committed bench budget (allocs/op ceilings
+# and the parallel-speedup floor in scripts/bench_budget.json).
+#
+# Usage:
+#   scripts/benchgate.sh [bench.json]
+#
+# With an argument, gates that existing benchjson snapshot (this is how
+# ci.sh reuses its bench-smoke output). Without one, runs a fresh quick
+# bench pass (BENCHTIME=1x unless overridden) into a temp file and
+# gates that, leaving the committed BENCH_engine.json untouched.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ $# -ge 1 ]; then
+    bench=$1
+else
+    tmpd=$(mktemp -d)
+    trap 'rm -rf "$tmpd"' EXIT
+    BENCHTIME=${BENCHTIME:-1x} ./scripts/bench.sh "$tmpd/bench.json" >/dev/null
+    bench=$tmpd/bench.json
+fi
+
+go run ./scripts/benchgate -bench "$bench" -budget scripts/bench_budget.json

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./scripts/benchjson > BENCH.json
+//	... | go run ./scripts/benchjson -prev BENCH_old.json > BENCH.json
 //
 // Each benchmark line becomes one record: the benchmark name (with the
 // trailing -GOMAXPROCS token split off), the iteration count, and every
@@ -14,17 +15,31 @@
 // the converting machine's Go version, GOMAXPROCS, and CPU count so two
 // committed snapshots are comparable at a glance — benchjson runs on
 // the same host as the bench, so its runtime answers describe the run.
+//
+// With -prev pointing at the previous snapshot, each record whose
+// (package, name) appears there additionally carries an "allocs_delta"
+// block — the previous allocs/op and the signed change — so the
+// committed snapshot is its own trajectory: a reviewer reads the
+// regression (or the win) straight off the diff without opening the
+// old file.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 )
+
+// allocsDelta relates a record's allocs/op to the previous snapshot's.
+type allocsDelta struct {
+	Prev  float64 `json:"prev"`
+	Delta float64 `json:"delta"`
+}
 
 // record is one parsed benchmark result line.
 type record struct {
@@ -33,6 +48,9 @@ type record struct {
 	Procs      int                `json:"procs,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// AllocsDelta is filled from -prev when the same benchmark exists in
+	// the previous snapshot and both runs report allocs/op.
+	AllocsDelta *allocsDelta `json:"allocs_delta,omitempty"`
 }
 
 // hostInfo describes the machine that ran the benchmarks, captured at
@@ -82,7 +100,29 @@ func parseLine(pkg, line string) (record, bool) {
 	return rec, true
 }
 
-func run() error {
+// loadPrevAllocs reads a previous snapshot and indexes its allocs/op
+// values by (package, name). Procs is deliberately not part of the key:
+// snapshots from this pipeline run one GOMAXPROCS setting, and keying
+// loosely keeps deltas working if that setting changes between hosts.
+func loadPrevAllocs(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev document
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	out := make(map[string]float64, len(prev.Benchmarks))
+	for _, rec := range prev.Benchmarks {
+		if v, ok := rec.Metrics["allocs/op"]; ok {
+			out[rec.Package+"\x00"+rec.Name] = v
+		}
+	}
+	return out, nil
+}
+
+func run(prevPath string) error {
 	doc := document{
 		Host: hostInfo{
 			GoVersion:  runtime.Version(),
@@ -117,6 +157,22 @@ func run() error {
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines on stdin")
 	}
+	if prevPath != "" {
+		prevAllocs, err := loadPrevAllocs(prevPath)
+		if err != nil {
+			return err
+		}
+		for i := range doc.Benchmarks {
+			rec := &doc.Benchmarks[i]
+			cur, ok := rec.Metrics["allocs/op"]
+			if !ok {
+				continue
+			}
+			if p, ok := prevAllocs[rec.Package+"\x00"+rec.Name]; ok {
+				rec.AllocsDelta = &allocsDelta{Prev: p, Delta: cur - p}
+			}
+		}
+	}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -128,7 +184,9 @@ func run() error {
 }
 
 func main() {
-	if err := run(); err != nil {
+	prev := flag.String("prev", "", "previous snapshot JSON to compute allocs/op deltas against")
+	flag.Parse()
+	if err := run(*prev); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -35,6 +35,13 @@ grep -q '"name": "BenchmarkSuiteRun/workers=1"' "$bench_tmp/bench.json" || {
     echo "ci: bench.json is missing the suite-run trajectory" >&2
     exit 1
 }
+
+echo "ci: bench gate"
+# The smoke run's snapshot doubles as the regression gate input: the
+# committed allocs/op ceilings (and, on >=4-CPU hosts, the parallel
+# speedup floor) in scripts/bench_budget.json must hold even at one
+# iteration per benchmark.
+./scripts/benchgate.sh "$bench_tmp/bench.json"
 rm -rf "$bench_tmp"
 
 echo "ci: archlined smoke test"
